@@ -1,0 +1,192 @@
+// Package chimera is the public facade of this reproduction of
+// "Chimera: Efficiently Training Large-Scale Neural Networks with
+// Bidirectional Pipelines" (Li & Hoefler, SC'21).
+//
+// It exposes the four things a user composes:
+//
+//   - schedules — Chimera's bidirectional pipelines (including the
+//     generalized 2f-pipeline form and the three N>D scaling methods) and
+//     the baselines the paper evaluates against (GPipe, DAPPLE/1F1B, GEMS,
+//     PipeDream, PipeDream-2BW);
+//   - the cluster simulator — throughput/memory evaluation of any schedule
+//     on calibrated Piz-Daint-like or V100-cluster-like platforms;
+//   - the planner — the §3.4 performance model that picks (W, D, B);
+//   - the training runtime — goroutine workers executing a schedule for
+//     real on a pure-Go transformer, gradient-equivalent to sequential
+//     mini-batch SGD.
+//
+// See examples/quickstart for a guided tour and DESIGN.md for the
+// system inventory.
+package chimera
+
+import (
+	"io"
+
+	"chimera/internal/data"
+	"chimera/internal/model"
+	"chimera/internal/optim"
+	"chimera/internal/perfmodel"
+	"chimera/internal/pipeline"
+	"chimera/internal/schedule"
+	"chimera/internal/sim"
+	"chimera/internal/trace"
+)
+
+// Re-exported schedule construction.
+type (
+	// Schedule is a per-worker pipeline program (see internal/schedule).
+	Schedule = schedule.Schedule
+	// ChimeraConfig parameterizes NewChimera.
+	ChimeraConfig = schedule.ChimeraConfig
+	// ConcatMode selects the N > D scaling method (§3.5).
+	ConcatMode = schedule.ConcatMode
+	// CostModel supplies unit op costs for schedule analysis.
+	CostModel = schedule.CostModel
+)
+
+// Concatenation modes for Chimera beyond N = D micro-batches.
+const (
+	Direct          = schedule.Direct
+	ForwardDoubling = schedule.ForwardDoubling
+	BackwardHalving = schedule.BackwardHalving
+)
+
+// NewChimera builds a bidirectional pipeline schedule (§3.1–§3.6).
+func NewChimera(cfg ChimeraConfig) (*Schedule, error) { return schedule.Chimera(cfg) }
+
+// NewSchedule builds any supported scheme by name: "chimera", "gpipe",
+// "dapple", "gems", "pipedream", "pipedream-2bw", "1f1b".
+func NewSchedule(scheme string, d, n int) (*Schedule, error) {
+	return schedule.ByName(scheme, d, n)
+}
+
+// Schemes lists the supported scheme names.
+func Schemes() []string { return schedule.Schemes() }
+
+// Analyze computes bubble ratios and memory profiles (Table 2 units).
+func Analyze(s *Schedule) (*schedule.Analysis, error) { return schedule.Analyze(s) }
+
+// Simulation.
+type (
+	// SimConfig configures one simulated training run.
+	SimConfig = sim.Config
+	// SimResult is the simulated iteration outcome.
+	SimResult = sim.Result
+	// Device models an accelerator; Network an interconnect.
+	Device  = sim.Device
+	Network = sim.Network
+	// ModelConfig describes a transformer for the simulator and planner.
+	ModelConfig = model.Config
+)
+
+// Simulate runs one training iteration under the cluster simulator.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// SimulateAuto enables activation recomputation automatically when the
+// plain configuration exceeds device memory (the paper's R annotation).
+func SimulateAuto(cfg SimConfig) (*SimResult, bool, error) { return sim.AutoRun(cfg) }
+
+// Platform presets.
+func PizDaintNode() Device     { return sim.PizDaintNode() }
+func AriesNetwork() Network    { return sim.AriesNetwork() }
+func V100Node() Device         { return sim.V100Node() }
+func NVLinkIBNetwork() Network { return sim.NVLinkIBNetwork() }
+
+// Model zoo (paper Table 4).
+func BERT48() ModelConfig      { return model.BERT48() }
+func GPT2() ModelConfig        { return model.GPT2() }
+func GPT2Small32() ModelConfig { return model.GPT2Small32() }
+
+// Planning (§3.4).
+type (
+	// PlanRequest describes a configuration-selection problem.
+	PlanRequest = perfmodel.PlanRequest
+	// Prediction is the performance model's estimate for one configuration.
+	Prediction = perfmodel.Prediction
+)
+
+// Plan ranks feasible (W, D, B) Chimera configurations by Eq. 1.
+func Plan(req PlanRequest) ([]*Prediction, error) { return perfmodel.Plan(req) }
+
+// Predict evaluates Eq. 1 for one configuration.
+func Predict(cfg SimConfig) (*Prediction, error) { return perfmodel.Predict(cfg) }
+
+// Real training runtime.
+type (
+	// Trainer executes a schedule with goroutine workers on a pure-Go
+	// transformer.
+	Trainer = pipeline.Trainer
+	// TrainerConfig configures New.
+	TrainerConfig = pipeline.Config
+	// ModelSpec describes the trained transformer.
+	ModelSpec = pipeline.ModelSpec
+	// Reference is the sequential mini-batch SGD baseline.
+	Reference = pipeline.Reference
+	// Batch is a mini-batch of token sequences.
+	Batch = data.Batch
+	// Optimizer applies a first-order update rule.
+	Optimizer = optim.Optimizer
+)
+
+// NewTrainer builds the distributed training runtime for a schedule.
+func NewTrainer(cfg TrainerConfig) (*Trainer, error) { return pipeline.New(cfg) }
+
+// NewReference builds the sequential baseline with identical weights.
+func NewReference(spec ModelSpec, d, microBatch int, newOpt func() Optimizer) (*Reference, error) {
+	return pipeline.NewReference(spec, d, microBatch, newOpt)
+}
+
+// NewStream creates a deterministic synthetic token stream.
+func NewStream(vocab, seqLen int, seed int64) *data.Stream {
+	return data.NewStream(vocab, seqLen, seed)
+}
+
+// SGD, Momentum and Adam optimizers.
+func NewSGD(lr float64) Optimizer          { return &optim.SGD{LR: lr} }
+func NewMomentum(lr, mu float64) Optimizer { return &optim.Momentum{LR: lr, Mu: mu} }
+func NewAdam(lr float64) Optimizer         { return optim.NewAdam(lr) }
+
+// RenderASCII draws a schedule timeline (Figs. 2/3/7/8 style).
+func RenderASCII(s *Schedule, cm CostModel) (string, error) { return trace.ASCII(s, cm) }
+
+// WriteChromeTrace writes the replayed schedule as Chrome-trace JSON.
+func WriteChromeTrace(w io.Writer, s *Schedule, cm CostModel) error {
+	raw, err := trace.ChromeTrace(s, cm)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+// Unit cost models for analysis.
+var (
+	// UnitEqual: forward == backward == 1 (construction figures).
+	UnitEqual = schedule.UnitEqual
+	// UnitPractical: backward = 2× forward (practical workloads).
+	UnitPractical = schedule.UnitPractical
+)
+
+// Asynchronous training (PipeDream weight stashing) and lossy gradient
+// synchronization — the extensions discussed in §2 and the conclusion.
+type (
+	// AsyncTrainer executes PipeDream-style asynchronous training with
+	// weight stashing (stale weights; not equivalent to mini-batch SGD).
+	AsyncTrainer = pipeline.AsyncTrainer
+	// AsyncConfig configures NewAsyncTrainer.
+	AsyncConfig = pipeline.AsyncConfig
+	// CompressionKind selects the lossy gradient codec for TrainerConfig.
+	CompressionKind = pipeline.CompressionKind
+)
+
+// Gradient compression codecs for TrainerConfig.Compression.
+const (
+	CompressNone = pipeline.CompressNone
+	CompressInt8 = pipeline.CompressInt8
+	CompressTopK = pipeline.CompressTopK
+)
+
+// NewAsyncTrainer builds the weight-stashing PipeDream runtime.
+func NewAsyncTrainer(cfg AsyncConfig) (*AsyncTrainer, error) {
+	return pipeline.NewAsyncTrainer(cfg)
+}

@@ -1,0 +1,31 @@
+// chimera-bench regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §4) and prints them in order. Use -only to select a
+// single experiment by id substring, -train for the real-training demo
+// iteration count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chimera/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run only experiments whose id contains this substring")
+	train := flag.Int("train", 12, "iterations for the real-training equivalence demo")
+	flag.Parse()
+	for _, fn := range experiments.All(*train) {
+		rep, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment failed: %v\n", err)
+			os.Exit(1)
+		}
+		if *only != "" && !strings.Contains(rep.ID, *only) {
+			continue
+		}
+		rep.Fprint(os.Stdout)
+	}
+}

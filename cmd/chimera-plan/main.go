@@ -1,0 +1,61 @@
+// chimera-plan runs the §3.4 performance model to select the best (W, D, B)
+// Chimera configuration for a worker count and mini-batch size.
+//
+// Example:
+//
+//	chimera-plan -model bert48 -p 32 -bhat 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chimera/internal/model"
+	"chimera/internal/perfmodel"
+	"chimera/internal/sim"
+)
+
+func main() {
+	modelName := flag.String("model", "bert48", "model: bert48|gpt2|gpt2-32")
+	p := flag.Int("p", 32, "total workers P = W·D")
+	bhat := flag.Int("bhat", 512, "mini-batch size B̂")
+	maxB := flag.Int("maxb", 64, "micro-batch search ceiling")
+	platform := flag.String("platform", "pizdaint", "platform: pizdaint|v100")
+	flag.Parse()
+
+	var m model.Config
+	switch *modelName {
+	case "bert48":
+		m = model.BERT48()
+	case "gpt2":
+		m = model.GPT2()
+	case "gpt2-32":
+		m = model.GPT2Small32()
+	default:
+		fmt.Fprintf(os.Stderr, "chimera-plan: unknown model %q\n", *modelName)
+		os.Exit(1)
+	}
+	req := perfmodel.PlanRequest{
+		Model: m, P: *p, MiniBatch: *bhat, MaxB: *maxB,
+		Device: sim.PizDaintNode(), Network: sim.AriesNetwork(),
+	}
+	if *platform == "v100" {
+		req.Device, req.Network = sim.V100Node(), sim.NVLinkIBNetwork()
+	}
+	preds, err := perfmodel.Plan(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chimera-plan:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %d workers, B̂=%d — Chimera configurations ranked by Eq. 1:\n", m.Name, *p, *bhat)
+	fmt.Printf("%-4s %-4s %-4s %-4s %-10s %-12s %-12s %s\n", "W", "D", "B", "N", "recompute", "iter (s)", "seq/s", "critical path")
+	for i, pr := range preds {
+		marker := " "
+		if i == 0 {
+			marker = "*"
+		}
+		fmt.Printf("%s %-4d %-4d %-4d %-4d %-10v %-12.4f %-12.1f Cf=%d Cb=%d\n",
+			marker, pr.W, pr.D, pr.B, pr.N, pr.Recompute, pr.IterTime, pr.Throughput, pr.Cf, pr.Cb)
+	}
+}

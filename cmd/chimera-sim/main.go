@@ -1,0 +1,110 @@
+// chimera-sim simulates one training iteration of a pipeline scheme on a
+// calibrated cluster and prints throughput, bubble ratio and per-worker
+// memory.
+//
+// Example:
+//
+//	chimera-sim -scheme chimera -model gpt2 -d 32 -w 64 -b 1 -bhat 2048
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chimera/internal/model"
+	"chimera/internal/schedule"
+	"chimera/internal/sim"
+)
+
+func main() {
+	scheme := flag.String("scheme", "chimera", "pipeline scheme: chimera|gpipe|dapple|gems|pipedream|pipedream-2bw|1f1b")
+	modelName := flag.String("model", "bert48", "model: bert48|gpt2|gpt2-32")
+	d := flag.Int("d", 4, "pipeline stages D")
+	w := flag.Int("w", 8, "data-parallel width W")
+	b := flag.Int("b", 8, "micro-batch size B")
+	bhat := flag.Int("bhat", 512, "mini-batch size B̂ (N = B̂/(W·B))")
+	f := flag.Int("f", 1, "chimera pipelines per direction")
+	concat := flag.String("concat", "direct", "chimera N>D method: direct|doubling|halving")
+	platform := flag.String("platform", "pizdaint", "platform: pizdaint|v100")
+	recompute := flag.Bool("recompute", false, "force activation recomputation")
+	auto := flag.Bool("auto", true, "enable recomputation automatically when memory requires it")
+	flag.Parse()
+
+	m, err := pickModel(*modelName)
+	check(err)
+	if *bhat%(*w**b) != 0 {
+		check(fmt.Errorf("B̂=%d not divisible by W·B=%d", *bhat, *w**b))
+	}
+	n := *bhat / (*w * *b)
+	var s *schedule.Schedule
+	if *scheme == "chimera" {
+		mode := schedule.Direct
+		switch *concat {
+		case "doubling":
+			mode = schedule.ForwardDoubling
+		case "halving":
+			mode = schedule.BackwardHalving
+		}
+		s, err = schedule.Chimera(schedule.ChimeraConfig{D: *d, N: n, F: *f, Concat: mode})
+	} else {
+		s, err = schedule.ByName(*scheme, *d, n)
+	}
+	check(err)
+
+	cfg := sim.Config{Model: m, Schedule: s, MicroBatch: *b, W: *w, Recompute: *recompute}
+	if *platform == "v100" {
+		cfg.Device, cfg.Network = sim.V100Node(), sim.NVLinkIBNetwork()
+	} else {
+		cfg.Device, cfg.Network = sim.PizDaintNode(), sim.AriesNetwork()
+	}
+	var res *sim.Result
+	usedRecompute := *recompute
+	if *auto && !*recompute {
+		res, usedRecompute, err = sim.AutoRun(cfg)
+	} else {
+		res, err = sim.Run(cfg)
+	}
+	check(err)
+
+	fmt.Printf("%s %s: D=%d W=%d B=%d N=%d (B̂=%d) recompute=%v\n",
+		*scheme, m.Name, *d, *w, *b, n, res.MiniBatch, usedRecompute)
+	fmt.Printf("iteration time : %.4f s\n", res.IterTime)
+	fmt.Printf("throughput     : %.1f sequences/s\n", res.Throughput)
+	fmt.Printf("bubble ratio   : %.3f\n", res.BubbleRatio)
+	fmt.Printf("sync overhead  : %.4f s (unoverlapped)\n", res.SyncTime)
+	fmt.Printf("per-worker peak memory (GiB):\n")
+	for wk, mem := range res.PeakMemBytes {
+		marker := ""
+		if mem > cfg.Device.MemBytes {
+			marker = "  << OOM"
+		}
+		fmt.Printf("  P%-3d %.2f%s\n", wk, float64(mem)/(1<<30), marker)
+	}
+	if res.OOM {
+		fmt.Println("configuration exceeds device memory")
+		os.Exit(2)
+	}
+}
+
+func pickModel(name string) (model.Config, error) {
+	switch name {
+	case "bert48":
+		return model.BERT48(), nil
+	case "bert48-512":
+		return model.BERT48Seq512(), nil
+	case "gpt2":
+		return model.GPT2(), nil
+	case "gpt2-32":
+		return model.GPT2Small32(), nil
+	default:
+		return model.Config{}, fmt.Errorf("unknown model %q", name)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chimera-sim:", err)
+		os.Exit(1)
+	}
+}

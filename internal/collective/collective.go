@@ -1,0 +1,306 @@
+// Package collective implements collective communication operations over the
+// in-process communicator of package comm. It provides the gradient
+// synchronization primitives Chimera relies on: allreduce across stage
+// replicas (ring, recursive doubling, and Rabenseifner's reduce-scatter +
+// allgather algorithm) and asynchronous (nonblocking) allreduce handles used
+// for the eager synchronization scheme of §3.2 of the paper.
+//
+// Collectives operate on a Group: an ordered subset of world ranks. All
+// members must call the collective with their own communicator; the group
+// index of each member is its position in the rank list.
+package collective
+
+import (
+	"fmt"
+
+	"chimera/internal/comm"
+)
+
+// Group identifies an ordered set of world ranks participating in a
+// collective. All members share the same slice contents.
+type Group struct {
+	Ranks []int
+}
+
+// NewGroup builds a group from the given world ranks.
+func NewGroup(ranks ...int) Group {
+	cp := make([]int, len(ranks))
+	copy(cp, ranks)
+	return Group{Ranks: cp}
+}
+
+// Size returns the number of members.
+func (g Group) Size() int { return len(g.Ranks) }
+
+// Index returns the position of rank within the group, or -1.
+func (g Group) Index(rank int) int {
+	for i, r := range g.Ranks {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// tag space layout: collectives use tags well above pipeline traffic.
+const (
+	tagRing   = 1 << 24
+	tagRD     = 1 << 25
+	tagRab    = 1 << 26
+	tagBcast  = 1 << 27
+	tagGather = 1 << 28
+)
+
+// Algorithm selects the allreduce implementation.
+type Algorithm int
+
+const (
+	// Rabenseifner is reduce-scatter (recursive halving) followed by
+	// allgather (recursive doubling). Bandwidth-optimal for large messages;
+	// the algorithm the paper's cost model assumes.
+	Rabenseifner Algorithm = iota
+	// Ring is the classic 2(r-1)-step ring allreduce.
+	Ring
+	// RecursiveDoubling exchanges full vectors in log2(r) rounds.
+	// Latency-optimal for small messages.
+	RecursiveDoubling
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Rabenseifner:
+		return "rabenseifner"
+	case Ring:
+		return "ring"
+	case RecursiveDoubling:
+		return "recursive-doubling"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// AllReduce sums data elementwise across all group members, in place.
+// opTag distinguishes concurrent allreduces on the same group (e.g. one per
+// pipeline stage); all members must pass the same opTag.
+func AllReduce(c *comm.Communicator, g Group, opTag int, data []float32, alg Algorithm) {
+	if g.Size() == 1 {
+		return
+	}
+	me := g.Index(c.Rank())
+	if me < 0 {
+		panic(fmt.Sprintf("collective: rank %d not in group %v", c.Rank(), g.Ranks))
+	}
+	switch alg {
+	case Ring:
+		ringAllReduce(c, g, me, opTag, data)
+	case RecursiveDoubling:
+		recursiveDoublingAllReduce(c, g, me, opTag, data)
+	case Rabenseifner:
+		rabenseifnerAllReduce(c, g, me, opTag, data)
+	default:
+		panic("collective: unknown algorithm")
+	}
+}
+
+// Handle is an outstanding nonblocking allreduce started with IAllReduce.
+type Handle struct {
+	done chan struct{}
+}
+
+// Wait blocks until the allreduce has completed. After Wait returns, the
+// buffer passed to IAllReduce holds the reduced result.
+func (h *Handle) Wait() { <-h.done }
+
+// IAllReduce starts an allreduce on a dedicated progression goroutine,
+// emulating a nonblocking collective (cf. Hoefler et al., the mechanism
+// behind the eager gradient synchronization of §3.2). The caller must not
+// touch data until Wait returns. Each member must use a private communicator
+// clone obtained from the same world (the pipeline executor allocates
+// per-purpose communicators so progression does not race worker traffic).
+func IAllReduce(c *comm.Communicator, g Group, opTag int, data []float32, alg Algorithm) *Handle {
+	h := &Handle{done: make(chan struct{})}
+	go func() {
+		AllReduce(c, g, opTag, data, alg)
+		close(h.done)
+	}()
+	return h
+}
+
+// ringAllReduce: reduce-scatter then allgather around a ring; 2(r-1) steps.
+func ringAllReduce(c *comm.Communicator, g Group, me, opTag int, data []float32) {
+	r := g.Size()
+	chunks := splitChunks(len(data), r)
+	next := g.Ranks[(me+1)%r]
+	prev := g.Ranks[(me-1+r)%r]
+	// Reduce-scatter: after step k, each member holds the partial sum of
+	// chunk (me-k) accumulated over k+1 members.
+	for step := 0; step < r-1; step++ {
+		sendIdx := (me - step + r) % r
+		recvIdx := (me - step - 1 + 2*r) % r
+		sc := chunks[sendIdx]
+		c.Send(next, tagRing+opTag*64+step, data[sc.lo:sc.hi])
+		in := c.Recv(prev, tagRing+opTag*64+step)
+		rc := chunks[recvIdx]
+		addInto(data[rc.lo:rc.hi], in)
+	}
+	// Allgather: circulate the completed chunks.
+	for step := 0; step < r-1; step++ {
+		sendIdx := (me + 1 - step + 2*r) % r
+		recvIdx := (me - step + 2*r) % r
+		sc := chunks[sendIdx]
+		c.Send(next, tagRing+opTag*64+32+step, data[sc.lo:sc.hi])
+		in := c.Recv(prev, tagRing+opTag*64+32+step)
+		rc := chunks[recvIdx]
+		copy(data[rc.lo:rc.hi], in)
+	}
+}
+
+// recursiveDoublingAllReduce requires the group size to be a power of two for
+// the fast path; other sizes fall back to ring.
+func recursiveDoublingAllReduce(c *comm.Communicator, g Group, me, opTag int, data []float32) {
+	r := g.Size()
+	if r&(r-1) != 0 {
+		ringAllReduce(c, g, me, opTag, data)
+		return
+	}
+	for dist := 1; dist < r; dist <<= 1 {
+		peer := me ^ dist
+		c.Send(g.Ranks[peer], tagRD+opTag*64+dist, data)
+		in := c.Recv(g.Ranks[peer], tagRD+opTag*64+dist)
+		addInto(data, in)
+	}
+}
+
+// rabenseifnerAllReduce implements reduce-scatter via recursive halving and
+// allgather via recursive doubling. Power-of-two group sizes take the fast
+// path; others fall back to ring (sufficient here: stage replica counts in
+// the experiments are powers of two, as on Piz Daint).
+func rabenseifnerAllReduce(c *comm.Communicator, g Group, me, opTag int, data []float32) {
+	r := g.Size()
+	if r&(r-1) != 0 || len(data) < r {
+		ringAllReduce(c, g, me, opTag, data)
+		return
+	}
+	// Work over chunk indices: splitChunks yields r contiguous chunks whose
+	// counts halve exactly because r is a power of two; element offsets may
+	// be uneven, which is fine since we always slice via chunk boundaries.
+	chunks := splitChunks(len(data), r)
+	offset := func(ci int) int {
+		if ci == r {
+			return len(data)
+		}
+		return chunks[ci].lo
+	}
+	// Recursive halving reduce-scatter over chunk-index region [clo, chi).
+	clo, chi := 0, r
+	step := 0
+	for dist := r / 2; dist >= 1; dist /= 2 {
+		peer := me ^ dist
+		mid := (clo + chi) / 2
+		var sLo, sHi, kLo, kHi int
+		if me&dist == 0 {
+			sLo, sHi, kLo, kHi = mid, chi, clo, mid // keep lower half
+		} else {
+			sLo, sHi, kLo, kHi = clo, mid, mid, chi // keep upper half
+		}
+		c.Send(g.Ranks[peer], tagRab+opTag*64+step, data[offset(sLo):offset(sHi)])
+		in := c.Recv(g.Ranks[peer], tagRab+opTag*64+step)
+		addInto(data[offset(kLo):offset(kHi)], in)
+		clo, chi = kLo, kHi
+		step++
+	}
+	// Recursive doubling allgather, retracing the halving in reverse: the
+	// peer at distance dist owns the sibling chunk-region of equal count.
+	for dist := 1; dist < r; dist <<= 1 {
+		peer := me ^ dist
+		count := chi - clo
+		var pLo, pHi int
+		if me&dist == 0 {
+			pLo, pHi = chi, chi+count
+		} else {
+			pLo, pHi = clo-count, clo
+		}
+		c.Send(g.Ranks[peer], tagRab+opTag*64+32+step, data[offset(clo):offset(chi)])
+		in := c.Recv(g.Ranks[peer], tagRab+opTag*64+32+step)
+		copy(data[offset(pLo):offset(pHi)], in)
+		if pLo < clo {
+			clo = pLo
+		}
+		if pHi > chi {
+			chi = pHi
+		}
+		step++
+	}
+}
+
+// Broadcast sends root's data to all group members, overwriting data on
+// non-roots. Implemented as a binomial tree.
+func Broadcast(c *comm.Communicator, g Group, opTag int, data []float32, rootIdx int) {
+	r := g.Size()
+	if r == 1 {
+		return
+	}
+	me := g.Index(c.Rank())
+	// Rotate so root is virtual rank 0, then run the standard top-down
+	// binomial tree: at round mask, ranks below mask forward to rank+mask.
+	vrank := (me - rootIdx + r) % r
+	for mask := 1; mask < r; mask <<= 1 {
+		if vrank < mask {
+			peer := vrank + mask
+			if peer < r {
+				c.Send(g.Ranks[(peer+rootIdx)%r], tagBcast+opTag*64+mask, data)
+			}
+		} else if vrank < 2*mask {
+			in := c.Recv(g.Ranks[(vrank-mask+rootIdx)%r], tagBcast+opTag*64+mask)
+			copy(data, in)
+		}
+	}
+}
+
+// AllGather concatenates each member's equally sized contribution into out
+// (len(out) = group size × len(contrib)), ordered by group index.
+func AllGather(c *comm.Communicator, g Group, opTag int, contrib []float32, out []float32) {
+	r := g.Size()
+	me := g.Index(c.Rank())
+	k := len(contrib)
+	if len(out) != r*k {
+		panic(fmt.Sprintf("collective: allgather out length %d != %d", len(out), r*k))
+	}
+	copy(out[me*k:(me+1)*k], contrib)
+	// Simple ring allgather: r-1 steps.
+	next := g.Ranks[(me+1)%r]
+	prev := g.Ranks[(me-1+r)%r]
+	for step := 0; step < r-1; step++ {
+		sendIdx := (me - step + r) % r
+		c.Send(next, tagGather+opTag*64+step, out[sendIdx*k:(sendIdx+1)*k])
+		in := c.Recv(prev, tagGather+opTag*64+step)
+		recvIdx := (me - step - 1 + 2*r) % r
+		copy(out[recvIdx*k:(recvIdx+1)*k], in)
+	}
+}
+
+type span struct{ lo, hi int }
+
+func splitChunks(n, parts int) []span {
+	out := make([]span, parts)
+	base, rem := n/parts, n%parts
+	off := 0
+	for i := 0; i < parts; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		out[i] = span{off, off + sz}
+		off += sz
+	}
+	return out
+}
+
+func addInto(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("collective: length mismatch %d != %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}

@@ -1,0 +1,195 @@
+// Package comm provides an in-process message-passing substrate modelled on
+// MPI. A World of P ranks communicates through Go channels; each rank obtains
+// a Communicator handle that supports blocking point-to-point transfers,
+// nonblocking transfers with explicit completion (Wait), and barriers.
+//
+// The package stands in for GLOO/MPI in the original Chimera implementation:
+// pipeline stages exchange activations and boundary gradients over Send/Recv,
+// and gradient synchronization is built on top in package collective.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is the unit of transfer between ranks. Payloads are float32 slices
+// (activations, gradients) accompanied by an integer tag that disambiguates
+// concurrent streams (e.g. micro-batch id × stage id).
+type Message struct {
+	Source int
+	Tag    int
+	Data   []float32
+}
+
+// World owns the mailboxes for a fixed set of ranks. It must be created once
+// and shared by all participating goroutines.
+type World struct {
+	size   int
+	inbox  []chan Message
+	barier *barrier
+}
+
+// DefaultQueueDepth is the per-rank mailbox capacity. It is sized generously
+// so that senders in a correctly ordered pipeline schedule never block on
+// mailbox capacity (they may still block on matching).
+const DefaultQueueDepth = 1024
+
+// NewWorld creates a communication world with the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("comm: world size must be positive, got %d", size))
+	}
+	w := &World{size: size, inbox: make([]chan Message, size), barier: newBarrier(size)}
+	for i := range w.inbox {
+		w.inbox[i] = make(chan Message, DefaultQueueDepth)
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Rank returns the communicator handle for the given rank.
+func (w *World) Rank(rank int) *Communicator {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Communicator{world: w, rank: rank, pending: make(map[matchKey][]Message)}
+}
+
+// Communicator is the per-rank endpoint. It is not safe for concurrent use by
+// multiple goroutines: like an MPI rank, each communicator belongs to exactly
+// one worker goroutine.
+type Communicator struct {
+	world *World
+	rank  int
+	// pending holds messages that arrived before a matching Recv was posted
+	// (out-of-order arrival across tags/sources).
+	pending map[matchKey][]Message
+}
+
+type matchKey struct {
+	source int
+	tag    int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Communicator) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Communicator) Size() int { return c.world.size }
+
+// Send delivers data to dst with the given tag. The payload is copied so the
+// caller may reuse the buffer immediately (MPI buffered-send semantics).
+func (c *Communicator) Send(dst, tag int, data []float32) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("comm: send to invalid rank %d", dst))
+	}
+	buf := make([]float32, len(data))
+	copy(buf, data)
+	c.world.inbox[dst] <- Message{Source: c.rank, Tag: tag, Data: buf}
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns its payload. Messages from other (source, tag) pairs that arrive in
+// the meantime are queued for later Recv calls.
+func (c *Communicator) Recv(src, tag int) []float32 {
+	key := matchKey{source: src, tag: tag}
+	if q := c.pending[key]; len(q) > 0 {
+		msg := q[0]
+		c.pending[key] = q[1:]
+		return msg.Data
+	}
+	for {
+		msg := <-c.world.inbox[c.rank]
+		if msg.Source == src && msg.Tag == tag {
+			return msg.Data
+		}
+		k := matchKey{source: msg.Source, tag: msg.Tag}
+		c.pending[k] = append(c.pending[k], msg)
+	}
+}
+
+// Request represents an outstanding nonblocking operation.
+type Request struct {
+	done         <-chan []float32
+	deferredRecv func() []float32
+	data         []float32
+	rcvd         bool
+}
+
+// Wait blocks until the operation completes and returns the received payload
+// (nil for sends).
+func (r *Request) Wait() []float32 {
+	if r.rcvd {
+		return r.data
+	}
+	switch {
+	case r.done != nil:
+		r.data = <-r.done
+	case r.deferredRecv != nil:
+		r.data = r.deferredRecv()
+	}
+	r.rcvd = true
+	return r.data
+}
+
+// ISend starts a nonblocking send. Because mailboxes are buffered and
+// payloads copied, the send completes immediately; the returned request
+// exists for API symmetry with MPI.
+func (c *Communicator) ISend(dst, tag int, data []float32) *Request {
+	c.Send(dst, tag, data)
+	return &Request{}
+}
+
+// IRecv posts a nonblocking receive. The returned Request's Wait yields the
+// payload. The receive is serviced by a helper goroutine draining through the
+// same matching logic, so IRecv must not be interleaved with blocking Recv
+// calls for the same (source, tag).
+func (c *Communicator) IRecv(src, tag int) *Request {
+	ch := make(chan []float32, 1)
+	key := matchKey{source: src, tag: tag}
+	if q := c.pending[key]; len(q) > 0 {
+		msg := q[0]
+		c.pending[key] = q[1:]
+		ch <- msg.Data
+		return &Request{done: ch}
+	}
+	// Fall back to a blocking receive at Wait time: record intent only.
+	return &Request{deferredRecv: func() []float32 { return c.Recv(src, tag) }}
+}
+
+// Barrier blocks until all ranks in the world have entered it.
+func (c *Communicator) Barrier() { c.world.barier.await() }
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	phase int
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for phase == b.phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,126 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeRoundtripErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]float32, 1+rng.Intn(200))
+		for i := range v {
+			v[i] = float32(rng.NormFloat64() * 10)
+		}
+		q := Quantize8(v)
+		out := Dequantize8(q, nil)
+		bound := float64(q.Scale)/2 + 1e-6
+		for i := range v {
+			if math.Abs(float64(v[i]-out[i])) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeZeroVector(t *testing.T) {
+	q := Quantize8([]float32{0, 0, 0})
+	out := Dequantize8(q, nil)
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("zero vector must roundtrip to zero")
+		}
+	}
+}
+
+func TestQuantizeDeterministic(t *testing.T) {
+	v := []float32{0.5, -1.25, 3.75, 0}
+	a, b := Quantize8(v), Quantize8(v)
+	if a.Scale != b.Scale {
+		t.Fatal("scales differ")
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("quantization not deterministic")
+		}
+	}
+}
+
+func TestTopKKeepsLargest(t *testing.T) {
+	v := []float32{0.1, -5, 0.3, 4, -0.2, 2}
+	s := TopK(v, 3)
+	dense := s.Dense(nil)
+	want := []float32{0, -5, 0, 4, 0, 2}
+	for i := range want {
+		if dense[i] != want[i] {
+			t.Fatalf("topk dense %v want %v", dense, want)
+		}
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	v := []float32{1, 1, 1, 1}
+	a := TopK(v, 2)
+	b := TopK(v, 2)
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] {
+			t.Fatal("tie-breaking not deterministic")
+		}
+	}
+	if a.Indices[0] != 0 || a.Indices[1] != 1 {
+		t.Fatalf("ties must resolve by index: %v", a.Indices)
+	}
+}
+
+func TestTopKClampsK(t *testing.T) {
+	s := TopK([]float32{1, 2}, 10)
+	if len(s.Indices) != 2 {
+		t.Fatalf("k must clamp to len: %d", len(s.Indices))
+	}
+}
+
+func TestPackUnpackQuantized(t *testing.T) {
+	v := []float32{0.5, -1.5, 2.5}
+	q := Quantize8(v)
+	rt := UnpackQuantized(PackQuantized(q))
+	if rt.Scale != q.Scale {
+		t.Fatal("scale lost")
+	}
+	for i := range q.Data {
+		if rt.Data[i] != q.Data[i] {
+			t.Fatal("data lost")
+		}
+	}
+}
+
+func TestPackUnpackSparse(t *testing.T) {
+	s := TopK([]float32{3, -1, 0, 7, 2}, 2)
+	rt := UnpackSparse(PackSparse(s))
+	if rt.Len != 5 || len(rt.Indices) != 2 {
+		t.Fatalf("shape lost: %+v", rt)
+	}
+	a, b := s.Dense(nil), rt.Dense(nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("values lost")
+		}
+	}
+}
+
+func TestSparseDenseReuseBuffer(t *testing.T) {
+	s := TopK([]float32{5, 0, 0}, 1)
+	buf := []float32{9, 9, 9}
+	out := s.Dense(buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("must reuse buffer")
+	}
+	if out[0] != 5 || out[1] != 0 || out[2] != 0 {
+		t.Fatalf("stale entries: %v", out)
+	}
+}

@@ -1,0 +1,90 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	a := NewStream(100, 8, 42).Next(4)
+	b := NewStream(100, 8, 42).Next(4)
+	for i := range a.Tokens {
+		for j := range a.Tokens[i] {
+			if a.Tokens[i][j] != b.Tokens[i][j] || a.Targets[i][j] != b.Targets[i][j] {
+				t.Fatal("stream not deterministic")
+			}
+		}
+	}
+}
+
+func TestStreamSeedsDiffer(t *testing.T) {
+	a := NewStream(100, 8, 1).Next(4)
+	b := NewStream(100, 8, 2).Next(4)
+	same := true
+	for i := range a.Tokens {
+		for j := range a.Tokens[i] {
+			if a.Tokens[i][j] != b.Tokens[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestTokensInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		vocab := 50
+		b := NewStream(vocab, 6, seed).Next(8)
+		for i := range b.Tokens {
+			for j := range b.Tokens[i] {
+				if b.Tokens[i][j] < 0 || b.Tokens[i][j] >= vocab {
+					return false
+				}
+				if b.Targets[i][j] < 0 || b.Targets[i][j] >= vocab {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMicroBatchViews(t *testing.T) {
+	b := NewStream(30, 4, 9).Next(8)
+	mb := b.MicroBatch(2, 5)
+	if mb.Sequences() != 3 {
+		t.Fatalf("micro batch has %d sequences", mb.Sequences())
+	}
+	if &mb.Tokens[0][0] != &b.Tokens[2][0] {
+		t.Fatal("micro batch must be a view, not a copy")
+	}
+}
+
+func TestFlattening(t *testing.T) {
+	b := NewStream(30, 4, 9).Next(2)
+	ft := b.FlatTokens()
+	if len(ft) != 8 {
+		t.Fatalf("flat tokens length %d", len(ft))
+	}
+	if int(ft[5]) != b.Tokens[1][1] {
+		t.Fatal("row-major flattening broken")
+	}
+	tg := b.FlatTargets()
+	if len(tg) != 8 || tg[3] != b.Targets[0][3] {
+		t.Fatal("target flattening broken")
+	}
+}
+
+func TestDegenerateStreamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStream(2, 8, 0)
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chimera/internal/model"
+	"chimera/internal/perfmodel"
+	"chimera/internal/schedule"
+	"chimera/internal/sim"
+)
+
+// AblationAllreduce compares Rabenseifner against ring allreduce cost in
+// end-to-end iteration time — the §3.4 design choice.
+func AblationAllreduce() (*Report, error) {
+	r := newReport("ablation-allreduce", "Allreduce algorithm choice (Rabenseifner vs ring)")
+	m, plat := model.GPT2(), pizDaint()
+	sch, err := schedule.Chimera(schedule.ChimeraConfig{D: 8, N: 8})
+	if err != nil {
+		return nil, err
+	}
+	for _, alg := range []sim.AllReduceAlg{sim.ARRabenseifner, sim.ARRing} {
+		for _, w := range []int{8, 64, 256} {
+			res, err := sim.Run(sim.Config{Model: m, Schedule: sch, MicroBatch: 1, W: w,
+				Device: plat.dev, Network: plat.net, Allreduce: alg, Recompute: true})
+			if err != nil {
+				return nil, err
+			}
+			name := "rabenseifner"
+			if alg == sim.ARRing {
+				name = "ring"
+			}
+			r.addf("%-13s W=%-4d iter=%.3fs sync=%.3fs", name, w, res.IterTime, res.SyncTime)
+			r.Metrics[fmt.Sprintf("%s:%d", name, w)] = res.IterTime
+		}
+	}
+	return r, nil
+}
+
+// AblationGreedyB validates Chimera's greedy max-B policy: the largest
+// fitting micro-batch should be at least as good as any smaller power of
+// two at fixed B̂ (the reduced tuning space of §3.4).
+func AblationGreedyB() (*Report, error) {
+	r := newReport("ablation-greedy-b", "Greedy max-B vs swept micro-batch sizes (Bert-48, 32 nodes, B̂=512)")
+	m, plat := model.BERT48(), pizDaint()
+	var best *sweepResult
+	var bestB int
+	for _, b := range powersOfTwo(32) {
+		res, rec := evalPoint(m, plat, 32, 512, runConfig{scheme: "chimera", d: 4, b: b})
+		if res == nil {
+			r.addf("B=%-3d infeasible", b)
+			continue
+		}
+		r.addf("B=%-3d%-3s %7.1f seq/s", b, recompStr(rec), res.Throughput)
+		r.Metrics[fmt.Sprintf("b=%d", b)] = res.Throughput
+		if best == nil || res.Throughput > best.res.Throughput {
+			best = &sweepResult{res: res, b: b}
+			bestB = b
+		}
+	}
+	// The greedy pick: largest feasible without recompute.
+	greedy := 0
+	for _, b := range powersOfTwo(32) {
+		sch, err := schedule.Chimera(schedule.ChimeraConfig{D: 4, N: 512 / (8 * b), Concat: schedule.Direct})
+		if err != nil {
+			continue
+		}
+		plain, _, err := sim.FitsMemory(sim.Config{Model: m, Schedule: sch, MicroBatch: b, W: 8,
+			Device: plat.dev, Network: plat.net})
+		if err == nil && plain {
+			greedy = b
+		}
+	}
+	r.addf("greedy max-B picks B=%d; sweep optimum B=%d", greedy, bestB)
+	r.Metrics["greedy"] = float64(greedy)
+	r.Metrics["optimum"] = float64(bestB)
+	return r, nil
+}
+
+// AblationRecompute quantifies the ≈1/3 backward overhead of activation
+// recomputation against its memory savings.
+func AblationRecompute() (*Report, error) {
+	r := newReport("ablation-recompute", "Activation recomputation cost/benefit (GPT-2, D=32)")
+	m, plat := model.GPT2(), pizDaint()
+	sch, err := schedule.Chimera(schedule.ChimeraConfig{D: 32, N: 32, Concat: schedule.Direct})
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range []bool{false, true} {
+		res, err := sim.Run(sim.Config{Model: m, Schedule: sch, MicroBatch: 1, W: 2,
+			Device: plat.dev, Network: plat.net, Recompute: rec})
+		if err != nil {
+			return nil, err
+		}
+		var peak int64
+		for _, b := range res.PeakMemBytes {
+			if b > peak {
+				peak = b
+			}
+		}
+		r.addf("recompute=%-5v iter=%.3fs peak=%.2f GiB oom=%v", rec, res.IterTime, float64(peak)/(1<<30), res.OOM)
+		r.Metrics[fmt.Sprintf("iter:recompute=%v", rec)] = res.IterTime
+	}
+	return r, nil
+}
+
+// AblationInterference sweeps the eager-sync progression-overhead
+// parameter η, showing when eager-sync-opt's advantage appears.
+func AblationInterference() (*Report, error) {
+	r := newReport("ablation-interference", "Eager-sync progression overhead η sweep (Bert-48, D=4)")
+	m, plat := model.BERT48(), pizDaint()
+	sch, err := schedule.Chimera(schedule.ChimeraConfig{D: 4, N: 8, Concat: schedule.Direct})
+	if err != nil {
+		return nil, err
+	}
+	for _, eta := range []float64{0.05, 0.15, 0.3} {
+		opt, err := sim.Run(sim.Config{Model: m, Schedule: sch, MicroBatch: 8, W: 16,
+			Device: plat.dev, Network: plat.net, Sync: sim.SyncEagerOpt, Interference: eta})
+		if err != nil {
+			return nil, err
+		}
+		eager, err := sim.Run(sim.Config{Model: m, Schedule: sch, MicroBatch: 8, W: 16,
+			Device: plat.dev, Network: plat.net, Sync: sim.SyncEager, Interference: eta})
+		if err != nil {
+			return nil, err
+		}
+		r.addf("η=%.2f: eager-opt/eager speedup %.3fx", eta, opt.Throughput/eager.Throughput)
+		r.Metrics[fmt.Sprintf("eta=%.2f", eta)] = opt.Throughput / eager.Throughput
+	}
+	return r, nil
+}
+
+// ModelAccuracy reports the §4.2.2 performance-model error across a
+// configuration grid.
+func ModelAccuracy() (*Report, error) {
+	r := newReport("model-accuracy", "Performance model error (paper: within 10%)")
+	m, plat := model.BERT48(), pizDaint()
+	var worst float64
+	for _, c := range []struct{ w, d, b int }{{16, 2, 16}, {8, 4, 8}, {4, 8, 16}, {2, 16, 16}} {
+		n := 512 / c.w / c.b
+		sch, err := schedule.Chimera(schedule.ChimeraConfig{D: c.d, N: n, Concat: schedule.Direct})
+		if err != nil {
+			return nil, err
+		}
+		e, err := perfmodel.ModelError(sim.Config{Model: m, Schedule: sch, MicroBatch: c.b, W: c.w,
+			Device: plat.dev, Network: plat.net})
+		if err != nil {
+			return nil, err
+		}
+		r.addf("W=%-3d D=%-3d B=%-3d error=%.1f%%", c.w, c.d, c.b, e*100)
+		if e > worst {
+			worst = e
+		}
+	}
+	r.addf("worst error %.1f%% (paper: <10%%)", worst*100)
+	r.Metrics["worst-error"] = worst
+	return r, nil
+}
+
+// AblationZeRO quantifies ZeRO-1 optimizer-state sharding (the paper's §2
+// future-work direction): peak-memory reduction versus the parameter
+// allgather it adds to each iteration.
+func AblationZeRO() (*Report, error) {
+	r := newReport("ablation-zero", "ZeRO-1 optimizer-state sharding (GPT-2, D=16, W=32)")
+	m, plat := model.GPT2(), pizDaint()
+	sch, err := schedule.Chimera(schedule.ChimeraConfig{D: 16, N: 16, Concat: schedule.Direct})
+	if err != nil {
+		return nil, err
+	}
+	for _, zero := range []bool{false, true} {
+		res, err := sim.Run(sim.Config{Model: m, Schedule: sch, MicroBatch: 1, W: 32,
+			Device: plat.dev, Network: plat.net, ZeRO: zero})
+		if err != nil {
+			return nil, err
+		}
+		var peak int64
+		for _, b := range res.PeakMemBytes {
+			if b > peak {
+				peak = b
+			}
+		}
+		r.addf("zero=%-5v iter=%.3fs peak=%.2f GiB throughput=%.1f seq/s",
+			zero, res.IterTime, float64(peak)/(1<<30), res.Throughput)
+		r.Metrics[fmt.Sprintf("peak:zero=%v", zero)] = float64(peak)
+		r.Metrics[fmt.Sprintf("iter:zero=%v", zero)] = res.IterTime
+	}
+	return r, nil
+}
+
+// AblationCompression models the conclusion's next step — gradient
+// sparsification/quantization — as allreduce bandwidth reduction, at the
+// sync-bound GPT-2 configuration.
+func AblationCompression() (*Report, error) {
+	r := newReport("ablation-compression", "Gradient compression (GPT-2, D=8, W=64)")
+	m, plat := model.GPT2(), pizDaint()
+	sch, err := schedule.Chimera(schedule.ChimeraConfig{D: 8, N: 8})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range []struct {
+		name   string
+		factor float64
+	}{{"fp32 (exact)", 1.0}, {"int8 quantized", 0.26}, {"top-1% sparse", 0.02}} {
+		res, err := sim.Run(sim.Config{Model: m, Schedule: sch, MicroBatch: 1, W: 64,
+			Device: plat.dev, Network: plat.net, Recompute: true, CompressionFactor: c.factor})
+		if err != nil {
+			return nil, err
+		}
+		r.addf("%-15s iter=%.3fs sync=%.3fs throughput=%.1f seq/s",
+			c.name, res.IterTime, res.SyncTime, res.Throughput)
+		r.Metrics["iter:"+c.name] = res.IterTime
+	}
+	r.addf("runtime counterparts: pipeline.CompressInt8 / CompressTopK (lossy but replica-consistent)")
+	return r, nil
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chimera/internal/model"
+	"chimera/internal/schedule"
+	"chimera/internal/sim"
+)
+
+// platform bundles a device and network (Piz Daint or the V100 cluster).
+type platform struct {
+	dev sim.Device
+	net sim.Network
+}
+
+func pizDaint() platform { return platform{sim.PizDaintNode(), sim.AriesNetwork()} }
+func v100Cluster() platform {
+	return platform{sim.V100Node(), sim.NVLinkIBNetwork()}
+}
+
+// runConfig describes one point of a sweep.
+type runConfig struct {
+	scheme string
+	d, b   int
+	// f and concat apply to chimera only.
+	f      int
+	concat schedule.ConcatMode
+}
+
+// evalPoint simulates one (scheme, W, D, B) point for mini-batch size bhat
+// on P workers, enabling recomputation automatically when needed. Returns
+// nil when the point is infeasible (does not divide, or OOM even with
+// recomputation).
+func evalPoint(m model.Config, plat platform, p, bhat int, rc runConfig) (*sim.Result, bool) {
+	d := rc.d
+	if p%d != 0 || m.Layers%d != 0 {
+		return nil, false
+	}
+	w := p / d
+	if bhat%(w*rc.b) != 0 {
+		return nil, false
+	}
+	n := bhat / (w * rc.b)
+	if n < 1 {
+		return nil, false
+	}
+	// PipeDream-2BW needs gradient accumulation over N ≥ D micro-batches
+	// for its two stashed weight versions to be sufficient (§2).
+	if rc.scheme == "pipedream-2bw" && n < d {
+		return nil, false
+	}
+	var s *schedule.Schedule
+	var err error
+	if rc.scheme == "chimera" {
+		if rc.concat != schedule.Direct && n%d != 0 {
+			return nil, false
+		}
+		s, err = schedule.Chimera(schedule.ChimeraConfig{D: d, N: n, F: rc.f, Concat: rc.concat})
+	} else {
+		s, err = schedule.ByName(rc.scheme, d, n)
+	}
+	if err != nil {
+		return nil, false
+	}
+	cfg := sim.Config{
+		Model: m, Schedule: s, MicroBatch: rc.b, W: w,
+		Device: plat.dev, Network: plat.net,
+	}
+	res, recompute, err := sim.AutoRun(cfg)
+	if err != nil || res.OOM {
+		return nil, false
+	}
+	return res, recompute
+}
+
+// bestPoint sweeps D and power-of-two B for one scheme and returns the best
+// throughput point (the per-baseline tuning of §4.2.1).
+type sweepResult struct {
+	res       *sim.Result
+	d, b, w   int
+	recompute bool
+}
+
+func bestPoint(m model.Config, plat platform, p, bhat int, scheme string, ds, bs []int) *sweepResult {
+	var best *sweepResult
+	for _, d := range ds {
+		for _, b := range bs {
+			res, rec := evalPoint(m, plat, p, bhat, runConfig{scheme: scheme, d: d, b: b})
+			if res == nil {
+				continue
+			}
+			if best == nil || res.Throughput > best.res.Throughput {
+				best = &sweepResult{res: res, d: d, b: b, w: p / d, recompute: rec}
+			}
+		}
+	}
+	return best
+}
+
+// pipeDreamBest handles PipeDream's special rule: its mini-batch size is
+// limited by memory (gradient update per micro-batch), so it runs the
+// largest feasible B̂ = B·N·W rather than the requested one.
+func pipeDreamBest(m model.Config, plat platform, p int, ds, bs []int) *sweepResult {
+	var best *sweepResult
+	for _, d := range ds {
+		if p%d != 0 || m.Layers%d != 0 {
+			continue
+		}
+		w := p / d
+		for _, b := range bs {
+			// N = D keeps the pipeline full; B̂ follows from memory.
+			res, rec := evalPoint(m, plat, p, b*d*w, runConfig{scheme: "pipedream", d: d, b: b})
+			if res == nil {
+				continue
+			}
+			if best == nil || res.Throughput > best.res.Throughput {
+				best = &sweepResult{res: res, d: d, b: b, w: w, recompute: rec}
+			}
+		}
+	}
+	return best
+}
+
+func recompStr(r bool) string {
+	if r {
+		return ", R"
+	}
+	return ""
+}
+
+func fmtPoint(sr *sweepResult) string {
+	if sr == nil {
+		return "infeasible (OOM at all tested configs)"
+	}
+	return fmt.Sprintf("W=%-3d D=%-3d B=%-3d%s  throughput=%7.1f seq/s  bubble=%.3f",
+		sr.w, sr.d, sr.b, recompStr(sr.recompute), sr.res.Throughput, sr.res.BubbleRatio)
+}
+
+// powersOfTwo returns {1, 2, 4, ..., max}.
+func powersOfTwo(max int) []int {
+	var out []int
+	for b := 1; b <= max; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"math"
+
+	"chimera/internal/data"
+	"chimera/internal/optim"
+	"chimera/internal/pipeline"
+	"chimera/internal/schedule"
+)
+
+// TrainingEquivalence runs the convergence-friendliness claim end to end on
+// the real runtime: a tiny GPT trained under Chimera and under sequential
+// mini-batch SGD on identical data must produce matching losses and
+// gradients, while the loss decreases.
+func TrainingEquivalence(iters int) (*Report, error) {
+	r := newReport("training-equivalence", "Real pipeline training ≡ sequential mini-batch SGD")
+	spec := pipeline.ModelSpec{Vocab: 31, Dim: 16, Heads: 4, SeqLen: 8, Layers: 4, Seed: 1}
+	sched, err := schedule.Chimera(schedule.ChimeraConfig{D: 4, N: 4})
+	if err != nil {
+		return nil, err
+	}
+	newOpt := func() optim.Optimizer { return &optim.Momentum{LR: 0.05, Mu: 0.9} }
+	tr, err := pipeline.New(pipeline.Config{
+		Schedule: sched, W: 2, Spec: spec, MicroBatch: 2, NewOptimizer: newOpt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ref, err := pipeline.NewReference(spec, 4, 2, newOpt)
+	if err != nil {
+		return nil, err
+	}
+	stream := data.NewStream(spec.Vocab, spec.SeqLen, 99)
+	var firstLoss, lastLoss, worstDiff float64
+	for i := 0; i < iters; i++ {
+		batch := stream.Next(2 * 4 * 2) // B·N·W
+		ld, err := tr.TrainIteration(batch)
+		if err != nil {
+			return nil, err
+		}
+		lr, err := ref.TrainIteration(batch)
+		if err != nil {
+			return nil, err
+		}
+		if d := math.Abs(ld - lr); d > worstDiff {
+			worstDiff = d
+		}
+		if i == 0 {
+			firstLoss = ld
+		}
+		lastLoss = ld
+		if i%5 == 0 || i == iters-1 {
+			r.addf("iter %2d: chimera loss=%.4f sequential loss=%.4f |Δ|=%.2e", i, ld, lr, math.Abs(ld-lr))
+		}
+	}
+	// Weight agreement after training.
+	var maxW float64
+	for st := 0; st < 4; st++ {
+		a, b := tr.StageWeights(st, 0), ref.StageWeights(st)
+		for i := range a {
+			d := math.Abs(float64(a[i]) - float64(b[i]))
+			if d > maxW {
+				maxW = d
+			}
+		}
+	}
+	r.addf("loss %.4f → %.4f over %d iterations; worst loss gap %.2e; worst weight gap %.2e",
+		firstLoss, lastLoss, iters, worstDiff, maxW)
+	r.Metrics["first-loss"] = firstLoss
+	r.Metrics["last-loss"] = lastLoss
+	r.Metrics["worst-loss-gap"] = worstDiff
+	r.Metrics["worst-weight-gap"] = maxW
+	return r, nil
+}
+
+// All returns every experiment in DESIGN.md's index order. trainingIters
+// bounds the real-training demo length.
+func All(trainingIters int) []func() (*Report, error) {
+	return []func() (*Report, error){
+		func() (*Report, error) { return Table2(4, 4) },
+		func() (*Report, error) { return Table3(16, 16) },
+		Figure1,
+		func() (*Report, error) { return Figure2(4, 4) },
+		Figure6,
+		Figure7,
+		Figure8,
+		Figure9,
+		Figure10,
+		Figure11,
+		Figure12,
+		Figure13,
+		Figure14,
+		Figure15,
+		Figure16,
+		Figure17,
+		Figure18,
+		Figure19,
+		ModelAccuracy,
+		AblationAllreduce,
+		AblationGreedyB,
+		AblationRecompute,
+		AblationInterference,
+		AblationZeRO,
+		AblationCompression,
+		func() (*Report, error) { return TrainingEquivalence(trainingIters) },
+		func() (*Report, error) { return ConvergenceComparison(2 * trainingIters) },
+	}
+}

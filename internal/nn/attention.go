@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"chimera/internal/tensor"
+)
+
+// SelfAttention is multi-head causal self-attention over rows organized as
+// batches of fixed sequence length T: input is (B·T)×C, interpreted as B
+// sequences. Projections are fused (QKV in one linear).
+type SelfAttention struct {
+	QKV  *Linear // C -> 3C
+	Proj *Linear // C -> C
+	dim  int
+	head int
+	seq  int
+
+	cache map[int]*attnCache
+}
+
+type attnCache struct {
+	q, k, v *tensor.Tensor // (B·T)×C each
+	probs   []*tensor.Tensor
+	batch   int
+}
+
+// NewSelfAttention creates a causal multi-head attention layer for model
+// width dim, heads heads, and fixed sequence length seqLen.
+func NewSelfAttention(name string, dim, heads, seqLen int) *SelfAttention {
+	if dim%heads != 0 {
+		panic("nn: dim must be divisible by heads")
+	}
+	return &SelfAttention{
+		QKV:   NewLinear(name+".qkv", dim, 3*dim),
+		Proj:  NewLinear(name+".proj", dim, dim),
+		dim:   dim,
+		head:  heads,
+		seq:   seqLen,
+		cache: make(map[int]*attnCache),
+	}
+}
+
+func (a *SelfAttention) initWeights(rng *rand.Rand) {
+	a.QKV.initWeights(rng)
+	a.Proj.initWeights(rng)
+}
+
+// headSlice extracts head h of sequence b from a (B·T)×C tensor into a T×Dh
+// matrix.
+func (a *SelfAttention) headSlice(x *tensor.Tensor, b, h int) *tensor.Tensor {
+	dh := a.dim / a.head
+	out := tensor.New(a.seq, dh)
+	for t := 0; t < a.seq; t++ {
+		src := x.Data[((b*a.seq+t)*a.dim + h*dh):((b*a.seq+t)*a.dim + (h+1)*dh)]
+		copy(out.Data[t*dh:(t+1)*dh], src)
+	}
+	return out
+}
+
+func (a *SelfAttention) scatterHead(dst *tensor.Tensor, src *tensor.Tensor, b, h int, accumulate bool) {
+	dh := a.dim / a.head
+	for t := 0; t < a.seq; t++ {
+		d := dst.Data[((b*a.seq+t)*a.dim + h*dh):((b*a.seq+t)*a.dim + (h+1)*dh)]
+		s := src.Data[t*dh : (t+1)*dh]
+		for j := range d {
+			if accumulate {
+				d[j] += s[j]
+			} else {
+				d[j] = s[j]
+			}
+		}
+	}
+}
+
+// Forward computes causal multi-head attention.
+func (a *SelfAttention) Forward(mb int, x *tensor.Tensor) *tensor.Tensor {
+	rows := x.Len() / a.dim
+	batch := rows / a.seq
+	qkv := a.QKV.Forward(mb, x) // rows × 3C
+	q := tensor.New(rows, a.dim)
+	k := tensor.New(rows, a.dim)
+	v := tensor.New(rows, a.dim)
+	for r := 0; r < rows; r++ {
+		src := qkv.Data[r*3*a.dim : (r+1)*3*a.dim]
+		copy(q.Data[r*a.dim:(r+1)*a.dim], src[0:a.dim])
+		copy(k.Data[r*a.dim:(r+1)*a.dim], src[a.dim:2*a.dim])
+		copy(v.Data[r*a.dim:(r+1)*a.dim], src[2*a.dim:3*a.dim])
+	}
+	dh := a.dim / a.head
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	ctx := tensor.New(rows, a.dim)
+	probs := make([]*tensor.Tensor, batch*a.head)
+	for b := 0; b < batch; b++ {
+		for h := 0; h < a.head; h++ {
+			qh := a.headSlice(q, b, h) // T×Dh
+			kh := a.headSlice(k, b, h)
+			vh := a.headSlice(v, b, h)
+			scores := tensor.New(a.seq, a.seq)
+			tensor.MatMulTransB(scores, qh, kh)
+			tensor.Scale(scores, scores, scale)
+			// Causal mask: position t attends to ≤ t.
+			for t := 0; t < a.seq; t++ {
+				for u := t + 1; u < a.seq; u++ {
+					scores.Set(t, u, float32(math.Inf(-1)))
+				}
+			}
+			tensor.SoftmaxRows(scores, scores)
+			probs[b*a.head+h] = scores
+			out := tensor.New(a.seq, dh)
+			tensor.MatMul(out, scores, vh)
+			a.scatterHead(ctx, out, b, h, false)
+		}
+	}
+	a.cache[mb] = &attnCache{q: q, k: k, v: v, probs: probs, batch: batch}
+	return a.Proj.Forward(mb, ctx)
+}
+
+// Backward propagates through projection, attention weights, and QKV.
+func (a *SelfAttention) Backward(mb int, dy *tensor.Tensor) *tensor.Tensor {
+	c, ok := a.cache[mb]
+	if !ok {
+		cacheKeyPanic("attention", mb)
+	}
+	delete(a.cache, mb)
+	dctx := a.Proj.Backward(mb, dy) // rows × C
+	rows := c.batch * a.seq
+	dh := a.dim / a.head
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	dq := tensor.New(rows, a.dim)
+	dk := tensor.New(rows, a.dim)
+	dv := tensor.New(rows, a.dim)
+	for b := 0; b < c.batch; b++ {
+		for h := 0; h < a.head; h++ {
+			probs := c.probs[b*a.head+h] // T×T
+			qh := a.headSlice(c.q, b, h)
+			kh := a.headSlice(c.k, b, h)
+			vh := a.headSlice(c.v, b, h)
+			dout := a.headSlice(dctx, b, h) // T×Dh
+
+			// dV = probsᵀ · dout
+			dvh := tensor.New(a.seq, dh)
+			tensor.MatMulTransA(dvh, probs, dout)
+			// dProbs = dout · vᵀ
+			dprobs := tensor.New(a.seq, a.seq)
+			tensor.MatMulTransB(dprobs, dout, vh)
+			// Softmax backward per row: ds = p ⊙ (dp - Σ p·dp)
+			dscores := tensor.New(a.seq, a.seq)
+			for t := 0; t < a.seq; t++ {
+				var dot float64
+				for u := 0; u <= t; u++ {
+					dot += float64(probs.At(t, u)) * float64(dprobs.At(t, u))
+				}
+				for u := 0; u <= t; u++ {
+					dscores.Set(t, u, probs.At(t, u)*(dprobs.At(t, u)-float32(dot)))
+				}
+			}
+			tensor.Scale(dscores, dscores, scale)
+			// dQ = dscores · K ; dK = dscoresᵀ · Q
+			dqh := tensor.New(a.seq, dh)
+			tensor.MatMul(dqh, dscores, kh)
+			dkh := tensor.New(a.seq, dh)
+			tensor.MatMulTransA(dkh, dscores, qh)
+			a.scatterHead(dq, dqh, b, h, false)
+			a.scatterHead(dk, dkh, b, h, false)
+			a.scatterHead(dv, dvh, b, h, false)
+		}
+	}
+	// Reassemble d(qkv) and push through the fused projection.
+	dqkv := tensor.New(rows, 3*a.dim)
+	for r := 0; r < rows; r++ {
+		dst := dqkv.Data[r*3*a.dim : (r+1)*3*a.dim]
+		copy(dst[0:a.dim], dq.Data[r*a.dim:(r+1)*a.dim])
+		copy(dst[a.dim:2*a.dim], dk.Data[r*a.dim:(r+1)*a.dim])
+		copy(dst[2*a.dim:3*a.dim], dv.Data[r*a.dim:(r+1)*a.dim])
+	}
+	return a.QKV.Backward(mb, dqkv)
+}
+
+// Params returns the projection parameters.
+func (a *SelfAttention) Params() []*Param {
+	return append(a.QKV.Params(), a.Proj.Params()...)
+}
+
+// DropCache discards cached attention state for mb.
+func (a *SelfAttention) DropCache(mb int) {
+	delete(a.cache, mb)
+	a.QKV.DropCache(mb)
+	a.Proj.DropCache(mb)
+}

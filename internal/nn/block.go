@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math/rand"
+
+	"chimera/internal/tensor"
+)
+
+// TransformerBlock is a pre-norm transformer layer:
+//
+//	x = x + Attn(LN1(x))
+//	x = x + MLP(LN2(x)), MLP = Linear(C→4C) → GELU → Linear(4C→C)
+type TransformerBlock struct {
+	LN1  *LayerNorm
+	Attn *SelfAttention
+	LN2  *LayerNorm
+	FC1  *Linear
+	Act  *GELULayer
+	FC2  *Linear
+
+	dim   int
+	cache map[int]*blockCache
+}
+
+type blockCache struct {
+	x, mid *tensor.Tensor
+}
+
+// NewTransformerBlock builds a block with width dim, heads heads, fixed
+// sequence length seqLen and 4× MLP expansion.
+func NewTransformerBlock(name string, dim, heads, seqLen int) *TransformerBlock {
+	return &TransformerBlock{
+		LN1:   NewLayerNorm(name+".ln1", dim),
+		Attn:  NewSelfAttention(name+".attn", dim, heads, seqLen),
+		LN2:   NewLayerNorm(name+".ln2", dim),
+		FC1:   NewLinear(name+".fc1", dim, 4*dim),
+		Act:   NewGELU(),
+		FC2:   NewLinear(name+".fc2", 4*dim, dim),
+		dim:   dim,
+		cache: make(map[int]*blockCache),
+	}
+}
+
+func (b *TransformerBlock) initWeights(rng *rand.Rand) {
+	b.Attn.initWeights(rng)
+	b.FC1.initWeights(rng)
+	b.FC2.initWeights(rng)
+}
+
+// Forward applies the block; x is (B·T)×C.
+func (b *TransformerBlock) Forward(mb int, x *tensor.Tensor) *tensor.Tensor {
+	attnOut := b.Attn.Forward(mb, b.LN1.Forward(mb, x))
+	mid := tensor.New(x.Shape...)
+	tensor.Add(mid, x.Reshape(mid.Shape...), attnOut)
+	mlp := b.FC2.Forward(mb, b.Act.Forward(mb, b.FC1.Forward(mb, b.LN2.Forward(mb, mid))))
+	out := tensor.New(mid.Shape...)
+	tensor.Add(out, mid, mlp)
+	b.cache[mb] = &blockCache{x: x, mid: mid}
+	return out
+}
+
+// Backward propagates through both residual branches.
+func (b *TransformerBlock) Backward(mb int, dy *tensor.Tensor) *tensor.Tensor {
+	c, ok := b.cache[mb]
+	if !ok {
+		cacheKeyPanic("block", mb)
+	}
+	delete(b.cache, mb)
+	// MLP branch: dmid = dy + LN2ᵀ(FC1ᵀ(GELUᵀ(FC2ᵀ(dy))))
+	dmlp := b.LN2.Backward(mb, b.FC1.Backward(mb, b.Act.Backward(mb, b.FC2.Backward(mb, dy))))
+	dmid := tensor.New(c.mid.Shape...)
+	tensor.Add(dmid, dy.Reshape(dmid.Shape...), dmlp)
+	// Attention branch: dx = dmid + LN1ᵀ(Attnᵀ(dmid))
+	dattn := b.LN1.Backward(mb, b.Attn.Backward(mb, dmid))
+	dx := tensor.New(c.x.Shape...)
+	tensor.Add(dx, dmid.Reshape(dx.Shape...), dattn)
+	return dx
+}
+
+// Params returns all block parameters.
+func (b *TransformerBlock) Params() []*Param {
+	var out []*Param
+	out = append(out, b.LN1.Params()...)
+	out = append(out, b.Attn.Params()...)
+	out = append(out, b.LN2.Params()...)
+	out = append(out, b.FC1.Params()...)
+	out = append(out, b.FC2.Params()...)
+	return out
+}
+
+// DropCache discards all cached state for mb.
+func (b *TransformerBlock) DropCache(mb int) {
+	delete(b.cache, mb)
+	b.LN1.DropCache(mb)
+	b.Attn.DropCache(mb)
+	b.LN2.DropCache(mb)
+	b.FC1.DropCache(mb)
+	b.Act.DropCache(mb)
+	b.FC2.DropCache(mb)
+}

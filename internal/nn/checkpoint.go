@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// checkpointMagic guards against loading unrelated files.
+const checkpointMagic = 0x43484d52 // "CHMR"
+
+// SaveParams writes the parameter values of a stage (or any parameter list)
+// in a self-describing little-endian binary format: per parameter, the name
+// and the raw float32 values. Gradients and optimizer state are not saved —
+// checkpoints capture weights, like the common framework convention.
+func SaveParams(w io.Writer, params []*Param) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(checkpointMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := w.Write(name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(p.Value.Len())); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, p.Value.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadParams reads a checkpoint written by SaveParams into params, matching
+// by order and validating names and sizes.
+func LoadParams(r io.Reader, params []*Param) error {
+	var magic, count uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return err
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("nn: not a chimera checkpoint (magic %x)", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", count, len(params))
+	}
+	for _, p := range params {
+		var nameLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return err
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: checkpoint param %q does not match model param %q", name, p.Name)
+		}
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		if int(n) != p.Value.Len() {
+			return fmt.Errorf("nn: param %q has %d values in checkpoint, %d in model", p.Name, n, p.Value.Len())
+		}
+		if err := binary.Read(r, binary.LittleEndian, p.Value.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"chimera/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	mk := func(seed int64) *Stage {
+		s := NewStage(0, NewLinear("fc", 4, 6), NewLayerNorm("ln", 6))
+		InitWeights(s.Layers, seed)
+		return s
+	}
+	src := mk(1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := mk(2) // different init
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		if d := tensor.MaxAbsDiff(sp[i].Value, dp[i].Value); d != 0 {
+			t.Fatalf("param %s differs by %v after round trip", sp[i].Name, d)
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	a := NewStage(0, NewLinear("fc", 4, 6))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	// Different parameter name.
+	b := NewStage(0, NewLinear("other", 4, 6))
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), b.Params()); err == nil {
+		t.Fatal("name mismatch must be rejected")
+	}
+	// Different shape.
+	c := NewStage(0, NewLinear("fc", 4, 8))
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), c.Params()); err == nil {
+		t.Fatal("shape mismatch must be rejected")
+	}
+	// Different count.
+	d := NewStage(0, NewLinear("fc", 4, 6), NewLayerNorm("ln", 6))
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), d.Params()); err == nil {
+		t.Fatal("count mismatch must be rejected")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	s := NewStage(0, NewLinear("fc", 2, 2))
+	if err := LoadParams(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8}), s.Params()); err == nil {
+		t.Fatal("garbage input must be rejected")
+	}
+}

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"math/rand"
+
+	"chimera/internal/tensor"
+)
+
+// Embedding maps token ids to vectors and adds learned positional
+// embeddings. Input is a (B·T)-length tensor whose float32 values are token
+// ids (pipeline boundaries carry float32 payloads); T is fixed at
+// construction so positions can be recovered from flat row indices.
+type Embedding struct {
+	Tok, Pos *Param
+	vocab    int
+	dim      int
+	seqLen   int
+	cache    map[int][]int // micro-batch id -> token ids
+}
+
+// NewEmbedding creates token + positional embeddings.
+func NewEmbedding(name string, vocab, dim, seqLen int) *Embedding {
+	return &Embedding{
+		Tok:    NewParam(name+".tok", vocab, dim),
+		Pos:    NewParam(name+".pos", seqLen, dim),
+		vocab:  vocab,
+		dim:    dim,
+		seqLen: seqLen,
+		cache:  make(map[int][]int),
+	}
+}
+
+func (e *Embedding) initWeights(rng *rand.Rand) {
+	e.Tok.Value.RandN(rng, 0.02)
+	e.Pos.Value.RandN(rng, 0.02)
+}
+
+// Forward gathers token and position vectors: out[r] = Tok[ids[r]] + Pos[r%T].
+func (e *Embedding) Forward(mb int, x *tensor.Tensor) *tensor.Tensor {
+	rows := x.Len()
+	ids := make([]int, rows)
+	for i, v := range x.Data {
+		id := int(v)
+		if id < 0 || id >= e.vocab {
+			id = 0
+		}
+		ids[i] = id
+	}
+	out := tensor.New(rows, e.dim)
+	for r := 0; r < rows; r++ {
+		tok := e.Tok.Value.Data[ids[r]*e.dim : (ids[r]+1)*e.dim]
+		pos := e.Pos.Value.Data[(r%e.seqLen)*e.dim : (r%e.seqLen+1)*e.dim]
+		dst := out.Data[r*e.dim : (r+1)*e.dim]
+		for j := range dst {
+			dst[j] = tok[j] + pos[j]
+		}
+	}
+	e.cache[mb] = ids
+	return out
+}
+
+// Backward scatters gradients into the token and position tables; the
+// returned dx is nil-like (a zero tensor) since token ids are not
+// differentiable.
+func (e *Embedding) Backward(mb int, dy *tensor.Tensor) *tensor.Tensor {
+	ids, ok := e.cache[mb]
+	if !ok {
+		cacheKeyPanic(e.Tok.Name, mb)
+	}
+	delete(e.cache, mb)
+	rows := len(ids)
+	for r := 0; r < rows; r++ {
+		g := dy.Data[r*e.dim : (r+1)*e.dim]
+		tok := e.Tok.Grad.Data[ids[r]*e.dim : (ids[r]+1)*e.dim]
+		pos := e.Pos.Grad.Data[(r%e.seqLen)*e.dim : (r%e.seqLen+1)*e.dim]
+		for j := range g {
+			tok[j] += g[j]
+			pos[j] += g[j]
+		}
+	}
+	return tensor.New(rows, 1)
+}
+
+// Params returns the embedding tables.
+func (e *Embedding) Params() []*Param { return []*Param{e.Tok, e.Pos} }
+
+// DropCache discards cached token ids for mb.
+func (e *Embedding) DropCache(mb int) { delete(e.cache, mb) }

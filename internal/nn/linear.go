@@ -1,0 +1,202 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"chimera/internal/tensor"
+)
+
+// Linear is a fully connected layer y = x·W + b for row-major x (rows =
+// flattened batch·sequence positions).
+type Linear struct {
+	W, B  *Param
+	in    int
+	out   int
+	cache map[int]*tensor.Tensor // micro-batch id -> input x
+}
+
+// NewLinear creates a Linear layer mapping in features to out features.
+func NewLinear(name string, in, out int) *Linear {
+	return &Linear{
+		W:     NewParam(name+".w", in, out),
+		B:     NewParam(name+".b", out),
+		in:    in,
+		out:   out,
+		cache: make(map[int]*tensor.Tensor),
+	}
+}
+
+func (l *Linear) initWeights(rng *rand.Rand) {
+	l.W.Value.RandN(rng, 1/math.Sqrt(float64(l.in)))
+	l.B.Value.Zero()
+}
+
+// Forward computes y = x·W + b and caches x for the backward pass.
+func (l *Linear) Forward(mb int, x *tensor.Tensor) *tensor.Tensor {
+	rows := x.Len() / l.in
+	x2 := x.Reshape(rows, l.in)
+	y := tensor.New(rows, l.out)
+	tensor.MatMul(y, x2, l.W.Value)
+	tensor.AddBiasRows(y, l.B.Value)
+	l.cache[mb] = x2
+	return y
+}
+
+// Backward computes dx = dy·Wᵀ and accumulates dW += xᵀ·dy, db += Σrows dy.
+func (l *Linear) Backward(mb int, dy *tensor.Tensor) *tensor.Tensor {
+	x, ok := l.cache[mb]
+	if !ok {
+		cacheKeyPanic(l.W.Name, mb)
+	}
+	delete(l.cache, mb)
+	rows := x.Shape[0]
+	dy2 := dy.Reshape(rows, l.out)
+	// dW += xᵀ · dy
+	dW := tensor.New(l.in, l.out)
+	tensor.MatMulTransA(dW, x, dy2)
+	tensor.AddInto(l.W.Grad, dW)
+	// db += column sums of dy
+	for i := 0; i < rows; i++ {
+		row := dy2.Data[i*l.out : (i+1)*l.out]
+		for j := range row {
+			l.B.Grad.Data[j] += row[j]
+		}
+	}
+	// dx = dy · Wᵀ
+	dx := tensor.New(rows, l.in)
+	tensor.MatMulTransB(dx, dy2, l.W.Value)
+	return dx
+}
+
+// Params returns the layer parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// DropCache discards the cached input for mb.
+func (l *Linear) DropCache(mb int) { delete(l.cache, mb) }
+
+// GELULayer applies the GELU nonlinearity elementwise.
+type GELULayer struct {
+	cache map[int]*tensor.Tensor
+}
+
+// NewGELU creates a GELU activation layer.
+func NewGELU() *GELULayer { return &GELULayer{cache: make(map[int]*tensor.Tensor)} }
+
+// Forward applies gelu(x).
+func (g *GELULayer) Forward(mb int, x *tensor.Tensor) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	tensor.GELU(y, x)
+	g.cache[mb] = x
+	return y
+}
+
+// Backward computes dx = gelu'(x) ⊙ dy.
+func (g *GELULayer) Backward(mb int, dy *tensor.Tensor) *tensor.Tensor {
+	x, ok := g.cache[mb]
+	if !ok {
+		cacheKeyPanic("gelu", mb)
+	}
+	delete(g.cache, mb)
+	dx := tensor.New(x.Shape...)
+	tensor.GELUGrad(dx, x, dy)
+	return dx
+}
+
+// Params returns nil: GELU has no parameters.
+func (g *GELULayer) Params() []*Param { return nil }
+
+// DropCache discards the cached input for mb.
+func (g *GELULayer) DropCache(mb int) { delete(g.cache, mb) }
+
+// LayerNorm normalizes each row to zero mean / unit variance, then applies a
+// learned affine transform: y = (x-μ)/√(σ²+ε) ⊙ g + b.
+type LayerNorm struct {
+	G, Bias *Param
+	dim     int
+	eps     float32
+	cache   map[int]*lnCache
+}
+
+type lnCache struct {
+	x        *tensor.Tensor
+	mean     []float32
+	invStd   []float32
+	normed   *tensor.Tensor
+	rowCount int
+}
+
+// NewLayerNorm creates a LayerNorm over the trailing dimension dim.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	ln := &LayerNorm{
+		G:     NewParam(name+".g", dim),
+		Bias:  NewParam(name+".b", dim),
+		dim:   dim,
+		eps:   1e-5,
+		cache: make(map[int]*lnCache),
+	}
+	ln.G.Value.Fill(1)
+	return ln
+}
+
+// Forward normalizes rows and applies the affine transform.
+func (l *LayerNorm) Forward(mb int, x *tensor.Tensor) *tensor.Tensor {
+	rows := x.Len() / l.dim
+	x2 := x.Reshape(rows, l.dim)
+	mean, variance := tensor.RowMeanVar(x2)
+	invStd := make([]float32, rows)
+	for i := range invStd {
+		invStd[i] = float32(1 / math.Sqrt(float64(variance[i])+float64(l.eps)))
+	}
+	normed := tensor.New(rows, l.dim)
+	y := tensor.New(rows, l.dim)
+	for i := 0; i < rows; i++ {
+		xr := x2.Data[i*l.dim : (i+1)*l.dim]
+		nr := normed.Data[i*l.dim : (i+1)*l.dim]
+		yr := y.Data[i*l.dim : (i+1)*l.dim]
+		for j := range xr {
+			nr[j] = (xr[j] - mean[i]) * invStd[i]
+			yr[j] = nr[j]*l.G.Value.Data[j] + l.Bias.Value.Data[j]
+		}
+	}
+	l.cache[mb] = &lnCache{x: x2, mean: mean, invStd: invStd, normed: normed, rowCount: rows}
+	return y
+}
+
+// Backward computes the layernorm gradient and accumulates dG, dBias.
+func (l *LayerNorm) Backward(mb int, dy *tensor.Tensor) *tensor.Tensor {
+	c, ok := l.cache[mb]
+	if !ok {
+		cacheKeyPanic(l.G.Name, mb)
+	}
+	delete(l.cache, mb)
+	rows := c.rowCount
+	dy2 := dy.Reshape(rows, l.dim)
+	dx := tensor.New(rows, l.dim)
+	n := float64(l.dim)
+	for i := 0; i < rows; i++ {
+		dyr := dy2.Data[i*l.dim : (i+1)*l.dim]
+		nr := c.normed.Data[i*l.dim : (i+1)*l.dim]
+		dxr := dx.Data[i*l.dim : (i+1)*l.dim]
+		// Accumulate parameter grads and the two reduction terms.
+		var sumDyG, sumDyGN float64
+		for j := range dyr {
+			l.G.Grad.Data[j] += dyr[j] * nr[j]
+			l.Bias.Grad.Data[j] += dyr[j]
+			dyg := float64(dyr[j]) * float64(l.G.Value.Data[j])
+			sumDyG += dyg
+			sumDyGN += dyg * float64(nr[j])
+		}
+		for j := range dyr {
+			dyg := float64(dyr[j]) * float64(l.G.Value.Data[j])
+			dxr[j] = float32(float64(c.invStd[i]) * (dyg - sumDyG/n - float64(nr[j])*sumDyGN/n))
+		}
+	}
+	return dx
+}
+
+// Params returns gain and bias.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.G, l.Bias} }
+
+// DropCache discards cached statistics for mb.
+func (l *LayerNorm) DropCache(mb int) { delete(l.cache, mb) }

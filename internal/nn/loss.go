@@ -1,0 +1,38 @@
+package nn
+
+import (
+	"math"
+
+	"chimera/internal/tensor"
+)
+
+// CrossEntropy computes the mean token-level cross-entropy of logits
+// (rows×V) against integer targets, and the gradient d(loss)/d(logits).
+// The gradient is scaled by gradScale (use 1/numMicroBatches so that
+// accumulating micro-batch gradients yields the mini-batch mean, matching
+// the paper's synchronous SGD semantics).
+func CrossEntropy(logits *tensor.Tensor, targets []int, gradScale float32) (loss float64, dlogits *tensor.Tensor) {
+	rows, v := logits.Shape[0], logits.Shape[1]
+	if len(targets) != rows {
+		panic("nn: target count mismatch")
+	}
+	probs := tensor.New(rows, v)
+	tensor.SoftmaxRows(probs, logits)
+	dlogits = tensor.New(rows, v)
+	invRows := 1 / float64(rows)
+	for r := 0; r < rows; r++ {
+		t := targets[r]
+		p := float64(probs.At(r, t))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p) * invRows
+		drow := dlogits.Data[r*v : (r+1)*v]
+		prow := probs.Data[r*v : (r+1)*v]
+		for j := range drow {
+			drow[j] = prow[j] * float32(invRows) * gradScale
+		}
+		drow[t] -= float32(invRows) * gradScale
+	}
+	return loss, dlogits
+}

@@ -1,0 +1,100 @@
+// Package optim implements the first-order update rules used by the
+// training runtime: plain SGD, SGD with momentum (the paper's setting), and
+// Adam. Optimizers are deterministic: replicas that apply the same
+// synchronized gradients stay bitwise identical, which the pipeline
+// executor's weight-consistency tests rely on.
+package optim
+
+import (
+	"math"
+
+	"chimera/internal/nn"
+)
+
+// Optimizer applies an update rule to a parameter set.
+type Optimizer interface {
+	// Step applies one update using the current Grad of every parameter.
+	Step(params []*nn.Param)
+}
+
+// SGD is plain stochastic gradient descent: w ← w − lr·g.
+type SGD struct {
+	LR float64
+}
+
+// Step applies the SGD update.
+func (o *SGD) Step(params []*nn.Param) {
+	lr := float32(o.LR)
+	for _, p := range params {
+		for i, g := range p.Grad.Data {
+			p.Value.Data[i] -= lr * g
+		}
+	}
+}
+
+// Momentum is SGD with classical momentum: v ← μv + g; w ← w − lr·v.
+type Momentum struct {
+	LR, Mu float64
+
+	velocity map[*nn.Param][]float32
+}
+
+// Step applies the momentum update.
+func (o *Momentum) Step(params []*nn.Param) {
+	if o.velocity == nil {
+		o.velocity = make(map[*nn.Param][]float32)
+	}
+	lr, mu := float32(o.LR), float32(o.Mu)
+	for _, p := range params {
+		v, ok := o.velocity[p]
+		if !ok {
+			v = make([]float32, p.Grad.Len())
+			o.velocity[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			v[i] = mu*v[i] + g
+			p.Value.Data[i] -= lr * v[i]
+		}
+	}
+}
+
+// Adam implements the Adam update with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	step int
+	m, v map[*nn.Param][]float32
+}
+
+// NewAdam returns Adam with conventional defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies the Adam update.
+func (o *Adam) Step(params []*nn.Param) {
+	if o.m == nil {
+		o.m = make(map[*nn.Param][]float32)
+		o.v = make(map[*nn.Param][]float32)
+	}
+	o.step++
+	b1, b2 := o.Beta1, o.Beta2
+	c1 := 1 / (1 - math.Pow(b1, float64(o.step)))
+	c2 := 1 / (1 - math.Pow(b2, float64(o.step)))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float32, p.Grad.Len())
+			v := make([]float32, p.Grad.Len())
+			o.m[p], o.v[p] = m, v
+		}
+		v := o.v[p]
+		for i, g := range p.Grad.Data {
+			m[i] = float32(b1)*m[i] + float32(1-b1)*g
+			v[i] = float32(b2)*v[i] + float32(1-b2)*g*g
+			mh := float64(m[i]) * c1
+			vh := float64(v[i]) * c2
+			p.Value.Data[i] -= float32(o.LR * mh / (math.Sqrt(vh) + o.Eps))
+		}
+	}
+}

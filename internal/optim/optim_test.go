@@ -1,0 +1,84 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"chimera/internal/nn"
+)
+
+func paramWith(vals, grads []float32) *nn.Param {
+	p := nn.NewParam("p", len(vals))
+	copy(p.Value.Data, vals)
+	copy(p.Grad.Data, grads)
+	return p
+}
+
+func TestSGDStep(t *testing.T) {
+	p := paramWith([]float32{1, 2}, []float32{0.5, -0.5})
+	(&SGD{LR: 0.1}).Step([]*nn.Param{p})
+	if math.Abs(float64(p.Value.Data[0])-0.95) > 1e-7 || math.Abs(float64(p.Value.Data[1])-2.05) > 1e-7 {
+		t.Fatalf("sgd step wrong: %v", p.Value.Data)
+	}
+}
+
+func TestMomentumAccumulates(t *testing.T) {
+	p := paramWith([]float32{0}, []float32{1})
+	o := &Momentum{LR: 1, Mu: 0.5}
+	o.Step([]*nn.Param{p}) // v=1, w=-1
+	o.Step([]*nn.Param{p}) // v=1.5, w=-2.5
+	if math.Abs(float64(p.Value.Data[0])+2.5) > 1e-6 {
+		t.Fatalf("momentum state wrong: %v", p.Value.Data[0])
+	}
+}
+
+func TestMomentumDeterministicAcrossInstances(t *testing.T) {
+	mk := func() *nn.Param { return paramWith([]float32{1, -1, 2}, nil) }
+	a, b := mk(), mk()
+	oa, ob := &Momentum{LR: 0.1, Mu: 0.9}, &Momentum{LR: 0.1, Mu: 0.9}
+	for i := 0; i < 5; i++ {
+		g := []float32{float32(i), -float32(i), 0.5}
+		copy(a.Grad.Data, g)
+		copy(b.Grad.Data, g)
+		oa.Step([]*nn.Param{a})
+		ob.Step([]*nn.Param{b})
+	}
+	for i := range a.Value.Data {
+		if a.Value.Data[i] != b.Value.Data[i] {
+			t.Fatal("momentum not deterministic — replica consistency would break")
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w−3)²: grad = 2(w−3).
+	p := paramWith([]float32{0}, nil)
+	o := NewAdam(0.3)
+	for i := 0; i < 300; i++ {
+		p.Grad.Data[0] = 2 * (p.Value.Data[0] - 3)
+		o.Step([]*nn.Param{p})
+	}
+	if math.Abs(float64(p.Value.Data[0])-3) > 0.05 {
+		t.Fatalf("adam did not converge: %v", p.Value.Data[0])
+	}
+}
+
+func TestAdamBiasCorrectionFirstStep(t *testing.T) {
+	p := paramWith([]float32{0}, []float32{1})
+	o := NewAdam(0.1)
+	o.Step([]*nn.Param{p})
+	// First Adam step moves by ≈ lr regardless of gradient scale.
+	if math.Abs(float64(p.Value.Data[0])+0.1) > 1e-3 {
+		t.Fatalf("first adam step %v, want ≈ -0.1", p.Value.Data[0])
+	}
+}
+
+func TestOptimizersHandleMultipleParams(t *testing.T) {
+	ps := []*nn.Param{paramWith([]float32{1}, []float32{1}), paramWith([]float32{2, 3}, []float32{1, 1})}
+	for _, o := range []Optimizer{&SGD{LR: 0.1}, &Momentum{LR: 0.1, Mu: 0.9}, NewAdam(0.1)} {
+		o.Step(ps)
+	}
+	if ps[0].Value.Data[0] >= 1 || ps[1].Value.Data[1] >= 3 {
+		t.Fatal("updates not applied to all params")
+	}
+}

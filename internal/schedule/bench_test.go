@@ -1,0 +1,61 @@
+package schedule
+
+import "testing"
+
+func BenchmarkChimeraConstructD32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := Chimera(ChimeraConfig{D: 32, N: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = s
+	}
+}
+
+func BenchmarkChimeraConstructD32F4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Chimera(ChimeraConfig{D: 32, N: 32, F: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplayD32N128(b *testing.B) {
+	s, err := Chimera(ChimeraConfig{D: 32, N: 128, Concat: Direct})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Replay(UnitPractical); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidateD16N64(b *testing.B) {
+	s, err := Chimera(ChimeraConfig{D: 16, N: 64, Concat: Direct})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeAllSchemes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range Schemes() {
+			s, err := ByName(name, 8, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Analyze(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

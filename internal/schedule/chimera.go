@@ -1,0 +1,284 @@
+package schedule
+
+import "fmt"
+
+// ConcatMode selects how Chimera scales past N = D micro-batches (§3.5).
+type ConcatMode int
+
+const (
+	// Direct concatenates basic scheduling units; with backward ≈ 2×
+	// forward this leaves intermediate bubbles that in practice absorb p2p
+	// communication.
+	Direct ConcatMode = iota
+	// ForwardDoubling runs two micro-batches per forward pass (double
+	// activation memory, usually paired with recomputation).
+	ForwardDoubling
+	// BackwardHalving keeps the doubled-forward schedule shape but halves
+	// the micro-batch size instead (no extra activation memory, lower
+	// compute efficiency).
+	BackwardHalving
+)
+
+func (m ConcatMode) String() string {
+	switch m {
+	case Direct:
+		return "direct"
+	case ForwardDoubling:
+		return "forward-doubling"
+	case BackwardHalving:
+		return "backward-halving"
+	default:
+		return fmt.Sprintf("ConcatMode(%d)", int(m))
+	}
+}
+
+// ChimeraConfig parameterizes the Chimera generator.
+type ChimeraConfig struct {
+	// D is the number of pipeline stages; must be even (paper assumption).
+	D int
+	// N is the number of micro-batches per worker per iteration.
+	N int
+	// F is the number of pipelines per direction (default 1). 2F model
+	// replicas are maintained; F must divide D/2.
+	F int
+	// Concat selects the N > D scaling method.
+	Concat ConcatMode
+}
+
+// Chimera builds the bidirectional pipeline schedule of §3.1–§3.6.
+func Chimera(cfg ChimeraConfig) (*Schedule, error) {
+	d, n, f := cfg.D, cfg.N, cfg.F
+	if f == 0 {
+		f = 1
+	}
+	if d < 2 || d%2 != 0 {
+		return nil, fmt.Errorf("chimera: D must be even and ≥2, got %d", d)
+	}
+	if (d/2)%f != 0 {
+		return nil, fmt.Errorf("chimera: F=%d must divide D/2=%d", f, d/2)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("chimera: N must be ≥1, got %d", n)
+	}
+	s := &Schedule{
+		Scheme:      "chimera",
+		D:           d,
+		N:           n,
+		F:           f,
+		Workers:     make([][]Op, d),
+		Synchronous: true,
+	}
+	for i := 0; i < f; i++ {
+		s.Replicas = append(s.Replicas, downMap(d, f, i))
+	}
+	for i := 0; i < f; i++ {
+		s.Replicas = append(s.Replicas, upMap(d, f, i))
+	}
+	s.MicroReplica = make([]int, n)
+
+	switch {
+	case n <= d || cfg.Concat == Direct:
+		buildChimeraDirect(s, cfg, f)
+	case cfg.Concat == ForwardDoubling || cfg.Concat == BackwardHalving:
+		if n%d != 0 {
+			return nil, fmt.Errorf("chimera: %v needs N a multiple of D, got N=%d D=%d", cfg.Concat, n, d)
+		}
+		buildChimeraDoubling(s, cfg, f)
+		s.DoubledForward = true
+		s.HalvedBackward = cfg.Concat == BackwardHalving
+	default:
+		return nil, fmt.Errorf("chimera: unknown concat mode %v", cfg.Concat)
+	}
+	s.sortWorkerOps()
+	return s, nil
+}
+
+// emitPair records a forward+backward pair placement for micro-batch set
+// micros of replica r, using the base-unit slot formulas offset by
+// unitOffset.
+//
+// Base-unit slotting (equal-cost model): within pipeline-local order m,
+// every pipeline — regardless of f — places F(m, s) at slot s + 2m and
+// B(m, s) at 2D−1−s + 2m, mapped to workers by its replica map. This merge
+// is conflict-free for even D and any f dividing D/2:
+//
+//   - forward slots of down pipelines on worker w all share parity(w) (the
+//     rotation step D/f is even), up forwards parity(w)+1 — no F/F clash;
+//     same-direction pipelines occupy disjoint offset ranges of width
+//     D/f − 2 < D/f;
+//   - down backwards share parity(w)+1 and up backwards parity(w) — no B/B
+//     clash;
+//   - a down-B vs up-F clash (same parity) would need D − (i−j)·D/f ≤
+//     D/f − 2, impossible for i−j < f.
+//
+// The per-worker idle is D/f − 2 slots, i.e. Table 3's bubble ratio
+// (D−2f)/(2fN+D−2f) = (D/f−2)/(2N+D/f−2). TestChimeraFConflictFree
+// exercises this over many (D, f).
+func (s *Schedule) emitPair(r int, micros []int, m int, phase, unitOffset int) {
+	d := s.D
+	rm := s.Replicas[r]
+	for st := 0; st < d; st++ {
+		w := rm.WorkerOf[st]
+		fSlot := st + 2*m + phase + unitOffset
+		bSlot := 2*d - 1 - st + 2*m + phase + unitOffset
+		s.Workers[w] = append(s.Workers[w],
+			Op{Kind: Forward, Stage: st, Replica: r, Micros: append([]int(nil), micros...), prio: fSlot})
+		s.Workers[w] = append(s.Workers[w],
+			Op{Kind: Backward, Stage: st, Replica: r, Micros: append([]int(nil), micros...), prio: bSlot})
+	}
+	for _, mb := range micros {
+		s.MicroReplica[mb] = r
+	}
+}
+
+// buildChimeraDirect handles N ≤ D and direct concatenation of basic units.
+// Micro-batches are dealt to the 2f pipelines round-robin (down pipelines
+// first), each unit carrying up to D micro-batches.
+func buildChimeraDirect(s *Schedule, cfg ChimeraConfig, f int) {
+	d, n := s.D, s.N
+	unitSpan := 2 * d // busy slots per worker per unit: seamless concat offset
+	mb := 0
+	for unit := 0; mb < n; unit++ {
+		inUnit := n - mb
+		if inUnit > d {
+			inUnit = d
+		}
+		// Deal this unit's micro-batches: pipeline p = down0, up0, down1,
+		// up1, ... gets ceil-fair share, locally 1F1B ordered.
+		order := pipelineDealOrder(f)
+		counts := fairShare(inUnit, 2*f)
+		local := 0
+		for pi, rep := range order {
+			for m := 0; m < counts[pi]; m++ {
+				s.emitPair(rep, []int{mb + local}, m, 0, unit*unitSpan)
+				local++
+			}
+		}
+		mb += inUnit
+	}
+}
+
+// pipelineDealOrder alternates directions so that for f=1 the down pipeline
+// receives ⌈N/2⌉ and the up pipeline ⌊N/2⌋ micro-batches (paper §3.1).
+// Replicas 0..f-1 are down pipelines, f..2f-1 up pipelines.
+func pipelineDealOrder(f int) []int {
+	out := make([]int, 0, 2*f)
+	for i := 0; i < f; i++ {
+		out = append(out, i, f+i)
+	}
+	return out
+}
+
+// fairShare splits n items into k nearly equal counts (first ones larger).
+func fairShare(n, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = n / k
+	}
+	for i := 0; i < n%k; i++ {
+		out[i]++
+	}
+	return out
+}
+
+// doublingUpPhase staggers the up pipelines of a doubled/halved unit against
+// the down pipelines. The value is fixed by measurement (see
+// TestDoublingPhaseChoice): it minimizes the replayed makespan over the
+// candidate phases for the evaluated depths.
+var doublingUpPhase = 0
+
+// buildChimeraDoubling constructs the forward-doubling / backward-halving
+// schedules of §3.5. Both share the "1F2B" unit shape (one forward slot, two
+// backward slots per position): under doubling the forward op carries two
+// micro-batches and the unit covers 2D of them; under halving the forward op
+// carries one micro-batch whose backward runs as two half-size passes, so
+// the unit covers D micro-batches.
+func buildChimeraDoubling(s *Schedule, cfg ChimeraConfig, f int) {
+	d, n := s.D, s.N
+	halving := cfg.Concat == BackwardHalving
+	mb, offset := 0, 0
+	if halving {
+		for mb < n {
+			emitOneF2BUnit(s, f, mb, offset, true)
+			mb += d
+			// Busy slots per worker per unit: D forwards + 2D half-backwards.
+			offset += 3 * d
+		}
+		return
+	}
+	k := n / d
+	for k >= 2 {
+		emitOneF2BUnit(s, f, mb, offset, false)
+		mb += 2 * d
+		offset += 3 * d
+		k -= 2
+	}
+	if k == 1 {
+		// Odd residual: one plain bidirectional unit of D micro-batches.
+		order := pipelineDealOrder(f)
+		counts := fairShare(d, 2*f)
+		local := 0
+		for pi, rep := range order {
+			for m := 0; m < counts[pi]; m++ {
+				s.emitPair(rep, []int{mb + local}, m, 0, offset)
+				local++
+			}
+		}
+	}
+}
+
+// emitOneF2BUnit emits one 1F2B-shaped unit. Down/up pipelines each carry
+// D/2f forward slots spaced 3f apart (forward + two backward slots per
+// position at the last stage); up pipelines are phase-shifted by
+// doublingUpPhase, with residual collisions resolved by replay order.
+func emitOneF2BUnit(s *Schedule, f int, mbBase, offset int, halving bool) {
+	d := s.D
+	order := pipelineDealOrder(f)
+	slotsPerPipe := d / (2 * f)
+	local := 0
+	for _, rep := range order {
+		rm := s.Replicas[rep]
+		phase := 0
+		if !rm.Down {
+			phase += doublingUpPhase
+		}
+		for j := 0; j < slotsPerPipe; j++ {
+			fSlot := offset + phase + 3*j
+			b0Slot := offset + phase + 3*j + 2*d - 1
+			b1Slot := b0Slot + 1
+			if halving {
+				m := mbBase + local
+				local++
+				s.MicroReplica[m] = rep
+				for st := 0; st < d; st++ {
+					w := rm.WorkerOf[st]
+					s.Workers[w] = append(s.Workers[w],
+						Op{Kind: Forward, Stage: st, Replica: rep, Micros: []int{m}, prio: fSlot + st},
+						Op{Kind: Backward, Stage: st, Replica: rep, Micros: []int{m}, Half: 1, prio: b0Slot - st},
+						Op{Kind: Backward, Stage: st, Replica: rep, Micros: []int{m}, Half: 2, prio: b1Slot - st})
+				}
+			} else {
+				m0, m1 := mbBase+local, mbBase+local+1
+				local += 2
+				s.MicroReplica[m0], s.MicroReplica[m1] = rep, rep
+				for st := 0; st < d; st++ {
+					w := rm.WorkerOf[st]
+					s.Workers[w] = append(s.Workers[w],
+						Op{Kind: Forward, Stage: st, Replica: rep, Micros: []int{m0, m1}, prio: fSlot + st},
+						Op{Kind: Backward, Stage: st, Replica: rep, Micros: []int{m0}, prio: b0Slot - st},
+						Op{Kind: Backward, Stage: st, Replica: rep, Micros: []int{m1}, prio: b1Slot - st})
+				}
+			}
+		}
+	}
+}
+
+// OneF1B builds a single-pipeline 1F1B schedule with flush (used as the
+// "1 pipe" baseline of Fig. 19 and as the building block of DAPPLE).
+func OneF1B(d, n int) (*Schedule, error) {
+	return dapple1F1B("1f1b", d, n, true)
+}
+
+// SetDoublingUpPhase overrides the up-pipeline phase of the 1F2B units; it
+// exists for schedule-construction experiments and tests.
+func SetDoublingUpPhase(p int) { doublingUpPhase = p }

@@ -1,0 +1,321 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CostModel supplies integer op durations for timeline replay. Durations are
+// in arbitrary units (the unit-cost analyses use F=1 or F=2/B=2 style
+// ratios; the simulator package uses nanoseconds).
+type CostModel struct {
+	// FUnit is the duration of a forward pass over one micro-batch.
+	FUnit int64
+	// BUnit is the duration of a backward pass over one micro-batch
+	// (typically 2×FUnit; 3×FUnit with activation recomputation).
+	BUnit int64
+	// P2P is the inter-stage communication latency added to every
+	// cross-worker dependency edge (0 for pure bubble analysis).
+	P2P int64
+}
+
+// UnitEqual is the equal-workload model used in the paper's construction
+// figures (forward == backward == 1 slot).
+var UnitEqual = CostModel{FUnit: 1, BUnit: 1}
+
+// UnitPractical is the practical model (backward ≈ 2× forward, Fig. 2).
+var UnitPractical = CostModel{FUnit: 1, BUnit: 2}
+
+// opCost returns the duration of op o under the model, honouring the
+// forward-doubling and backward-halving variants: a doubled forward carries
+// two micro-batches; a halved backward processes half a micro-batch.
+func (s *Schedule) opCost(o Op, cm CostModel) int64 {
+	if o.Kind == Forward {
+		return cm.FUnit * int64(len(o.Micros))
+	}
+	c := cm.BUnit * int64(len(o.Micros))
+	if o.Half != 0 {
+		c = (c + 1) / 2
+	}
+	return c
+}
+
+// Timeline is the result of replaying a schedule under a cost model.
+type Timeline struct {
+	// Start[w][i] and End[w][i] bracket op i of worker w.
+	Start, End [][]int64
+	// Makespan is the completion time of the last op.
+	Makespan int64
+	// BusyTime[w] is the total op duration on worker w.
+	BusyTime []int64
+}
+
+// depKey identifies the data token produced by an op for one micro-batch
+// (half identifies half-micro-batch backward chains under backward halving).
+type depKey struct {
+	kind  Kind
+	micro int
+	stage int
+	half  uint8
+}
+
+// doneInfo records when and where a data token was produced.
+type doneInfo struct {
+	end    int64
+	worker int
+}
+
+// ReplayConfig generalizes replay costing: OpCost gives the duration of an
+// op on its worker; EdgeCost gives the communication delay added to a
+// dependency edge that crosses workers (e.g. α + β·activationBytes).
+type ReplayConfig struct {
+	OpCost   func(worker int, op Op) int64
+	EdgeCost func(op Op) int64
+}
+
+// Replay computes start/end times for every op under a uniform cost model.
+// See ReplayWith for the execution semantics.
+func (s *Schedule) Replay(cm CostModel) (*Timeline, error) {
+	return s.ReplayWith(ReplayConfig{
+		OpCost:   func(_ int, op Op) int64 { return s.opCost(op, cm) },
+		EdgeCost: func(Op) int64 { return cm.P2P },
+	})
+}
+
+// ReplayWith computes start/end times for every op: each worker executes its
+// op list strictly in order; an op starts when the worker is free and all
+// its data dependencies (forward from previous stage, backward from next
+// stage, loss dependency at the last stage) have completed, plus edge cost
+// for cross-worker edges. Returns an error if the schedule deadlocks
+// (circular wait), which indicates a construction bug.
+func (s *Schedule) ReplayWith(rc ReplayConfig) (*Timeline, error) {
+	tl := &Timeline{
+		Start:    make([][]int64, s.D),
+		End:      make([][]int64, s.D),
+		BusyTime: make([]int64, s.D),
+	}
+	for w := range tl.Start {
+		tl.Start[w] = make([]int64, len(s.Workers[w]))
+		tl.End[w] = make([]int64, len(s.Workers[w]))
+	}
+	// finished[token] = (end time, worker) of the producing op.
+	finished := make(map[depKey]doneInfo)
+	ptr := make([]int, s.D)
+	free := make([]int64, s.D)
+	remaining := s.OpsTotal()
+	for remaining > 0 {
+		progress := false
+		for w := 0; w < s.D; w++ {
+			for ptr[w] < len(s.Workers[w]) {
+				op := s.Workers[w][ptr[w]]
+				ready, ok := s.opReady(op, w, finished, rc)
+				if !ok {
+					break
+				}
+				start := maxI64(ready, free[w])
+				end := start + rc.OpCost(w, op)
+				i := ptr[w]
+				tl.Start[w][i], tl.End[w][i] = start, end
+				tl.BusyTime[w] += end - start
+				free[w] = end
+				for _, m := range op.Micros {
+					finished[depKey{op.Kind, m, op.Stage, op.Half}] = doneInfo{end, w}
+				}
+				ptr[w]++
+				remaining--
+				progress = true
+				if end > tl.Makespan {
+					tl.Makespan = end
+				}
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("schedule %q (D=%d N=%d): deadlock with %d ops unscheduled; next ops: %s",
+				s.Scheme, s.D, s.N, remaining, s.describeBlocked(ptr))
+		}
+	}
+	return tl, nil
+}
+
+// opReady reports whether all dependencies of op are satisfied and the
+// earliest start time implied by them.
+func (s *Schedule) opReady(op Op, w int, finished map[depKey]doneInfo, rc ReplayConfig) (int64, bool) {
+	var ready int64
+	need := func(k depKey) bool {
+		d, ok := finished[k]
+		if !ok {
+			return false
+		}
+		t := d.end
+		if d.worker != w {
+			t += rc.EdgeCost(op)
+		}
+		if t > ready {
+			ready = t
+		}
+		return true
+	}
+	for _, m := range op.Micros {
+		switch {
+		case op.Kind == Forward && op.Stage > 0:
+			if !need(depKey{Forward, m, op.Stage - 1, 0}) {
+				return 0, false
+			}
+		case op.Kind == Backward && op.Stage == s.D-1:
+			if !need(depKey{Forward, m, op.Stage, 0}) {
+				return 0, false
+			}
+		case op.Kind == Backward:
+			if !need(depKey{Backward, m, op.Stage + 1, op.Half}) {
+				return 0, false
+			}
+		}
+	}
+	return ready, true
+}
+
+func (s *Schedule) describeBlocked(ptr []int) string {
+	out := ""
+	for w := 0; w < s.D; w++ {
+		if ptr[w] < len(s.Workers[w]) {
+			out += fmt.Sprintf(" w%d:%s", w, s.Workers[w][ptr[w]])
+		}
+	}
+	return out
+}
+
+// BubbleRatio returns the fraction of worker-time spent idle within the
+// makespan: (D·makespan − Σ busy) / (D·makespan). This matches the paper's
+// definition (bubble overhead over overall runtime).
+func (tl *Timeline) BubbleRatio() float64 {
+	total := tl.Makespan * int64(len(tl.BusyTime))
+	if total == 0 {
+		return 0
+	}
+	var busy int64
+	for _, b := range tl.BusyTime {
+		busy += b
+	}
+	return float64(total-busy) / float64(total)
+}
+
+// WorkerBubbles returns per-worker idle time within the makespan.
+func (tl *Timeline) WorkerBubbles() []int64 {
+	out := make([]int64, len(tl.BusyTime))
+	for w, b := range tl.BusyTime {
+		out[w] = tl.Makespan - b
+	}
+	return out
+}
+
+// ActivationHighWater returns, per worker, the peak number of in-flight
+// micro-batch activations (forward done on this worker, backward not yet),
+// in units of one micro-batch's activation memory Ma. Order-derived: timing
+// does not change residency, only the op order does.
+//
+// Under forward doubling, a doubled forward holds 2 units (the paper's 2×
+// activation cost). Under backward halving, each half backward releases ½.
+func (s *Schedule) ActivationHighWater() []float64 {
+	out := make([]float64, s.D)
+	for w, ops := range s.Workers {
+		var live, peak float64
+		for _, op := range ops {
+			switch {
+			case op.Kind == Forward:
+				live += float64(len(op.Micros))
+			case op.Half != 0:
+				live -= 0.5 * float64(len(op.Micros))
+			default:
+				live -= float64(len(op.Micros))
+			}
+			if live > peak {
+				peak = live
+			}
+		}
+		out[w] = peak
+	}
+	return out
+}
+
+// WeightStashHighWater returns, per worker, the number of weight versions a
+// PipeDream-style asynchronous scheme must stash: one per in-flight
+// micro-batch, lower-bounded by 1 (the live weights). For synchronous
+// schemes this equals 1 and is not used.
+func (s *Schedule) WeightStashHighWater() []int {
+	hw := s.ActivationHighWater()
+	out := make([]int, len(hw))
+	for i, v := range hw {
+		n := int(v)
+		if n < 1 {
+			n = 1
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// sortWorkerOps orders each worker's list by construction priority, with a
+// deterministic tiebreak (replica, kind, micro). Generators call this after
+// emitting ops with prio slots.
+func (s *Schedule) sortWorkerOps() {
+	for w := range s.Workers {
+		ops := s.Workers[w]
+		sort.SliceStable(ops, func(i, j int) bool {
+			a, b := ops[i], ops[j]
+			if a.prio != b.prio {
+				return a.prio < b.prio
+			}
+			if a.Kind != b.Kind {
+				return a.Kind == Forward
+			}
+			if a.Replica != b.Replica {
+				return a.Replica < b.Replica
+			}
+			if a.Micros[0] != b.Micros[0] {
+				return a.Micros[0] < b.Micros[0]
+			}
+			return a.Half < b.Half
+		})
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ComputeEnd returns per-worker completion time of the final op.
+func (tl *Timeline) ComputeEnd() []int64 {
+	out := make([]int64, len(tl.End))
+	for w, ends := range tl.End {
+		for _, e := range ends {
+			if e > out[w] {
+				out[w] = e
+			}
+		}
+	}
+	return out
+}
+
+// GradReady returns, per worker, the completion time of the last backward op
+// of each (replica, stage) hosted there: the moment that stage replica's
+// weight gradients are fully accumulated and their allreduce may be launched
+// eagerly (§3.2 of the paper).
+func (s *Schedule) GradReady(tl *Timeline) []map[StagePlacement]int64 {
+	out := make([]map[StagePlacement]int64, s.D)
+	for w, ops := range s.Workers {
+		out[w] = make(map[StagePlacement]int64)
+		for i, op := range ops {
+			if op.Kind != Backward {
+				continue
+			}
+			key := StagePlacement{Replica: op.Replica, Stage: op.Stage}
+			if tl.End[w][i] > out[w][key] {
+				out[w][key] = tl.End[w][i]
+			}
+		}
+	}
+	return out
+}

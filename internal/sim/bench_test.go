@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+
+	"chimera/internal/model"
+	"chimera/internal/schedule"
+)
+
+func BenchmarkSimulateGPT2D32(b *testing.B) {
+	s, err := schedule.Chimera(schedule.ChimeraConfig{D: 32, N: 32, Concat: schedule.Direct})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Model: model.GPT2(), Schedule: s, MicroBatch: 1, W: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeakMemoryBERTD16(b *testing.B) {
+	s, err := schedule.Chimera(schedule.ChimeraConfig{D: 16, N: 64, Concat: schedule.Direct})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Model: model.BERT48(), Schedule: s, MicroBatch: 4, W: 2}
+	if err := validate(&cfg); err != nil {
+		b.Fatal(err)
+	}
+	stages, err := cfg.Model.Partition(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PeakMemory(&cfg, stages)
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"chimera/internal/model"
+	"chimera/internal/schedule"
+)
+
+// PeakMemory returns the per-worker peak memory in bytes for the
+// configuration: training state for every hosted stage replica (plus
+// stashed weight versions for asynchronous schemes) and the peak activation
+// residency derived from the schedule's op order.
+//
+// With recomputation, each in-flight micro-batch holds only its boundary
+// input; one full stage activation set is transiently materialized during
+// the backward pass (the recompute working set).
+func PeakMemory(cfg *Config, stages []model.Stage) []int64 {
+	s := cfg.Schedule
+	out := make([]int64, s.D)
+	for w := 0; w < s.D; w++ {
+		out[w] = weightMemory(cfg, stages, w) + activationPeak(cfg, stages, w)
+	}
+	return out
+}
+
+func weightMemory(cfg *Config, stages []model.Stage, w int) int64 {
+	s := cfg.Schedule
+	var bytes int64
+	placements := s.StagesOn(w)
+	var stash []int
+	if !s.Synchronous {
+		stash = s.WeightStashHighWater()
+	}
+	for _, pl := range placements {
+		st := stages[pl.Stage]
+		if cfg.ZeRO && s.Synchronous {
+			// ZeRO-1: weights + gradients stay replicated (8 B/param); the
+			// optimizer state (momentum, 4 B/param) is sharded across the
+			// stage's holder group.
+			r := int64(len(s.Replicas) * cfg.W)
+			bytes += st.Params() * (8 + (4+r-1)/r)
+		} else {
+			bytes += st.WeightBytes()
+		}
+		if !s.Synchronous {
+			versions := 1
+			switch s.Scheme {
+			case "pipedream":
+				versions = stash[w]
+			case "pipedream-2bw":
+				versions = 2
+			}
+			// Extra stashed versions store weights only (fp32), not
+			// gradients or optimizer state.
+			bytes += int64(versions-1) * st.Params() * 4
+		}
+	}
+	return bytes
+}
+
+// activationPeak walks the worker's op order tracking live activation bytes
+// per (replica, stage): + on forward, − on backward (half backwards release
+// half). Timing cannot change residency; order alone determines it.
+func activationPeak(cfg *Config, stages []model.Stage, w int) int64 {
+	s := cfg.Schedule
+	var live, peak float64
+	var maxWorkingSet int64
+	for _, op := range s.Workers[w] {
+		st := stages[op.Stage]
+		perMicro := float64(st.ActivationBytes(cfg.MicroBatch))
+		if cfg.Recompute {
+			perMicro = float64(cfg.Model.BoundaryBytes(cfg.MicroBatch))
+			if ws := st.ActivationBytes(cfg.MicroBatch); ws > maxWorkingSet {
+				maxWorkingSet = ws
+			}
+		}
+		n := float64(len(op.Micros))
+		switch {
+		case op.Kind == schedule.Forward:
+			live += perMicro * n
+		case op.Half != 0:
+			live -= perMicro * n / 2
+		default:
+			live -= perMicro * n
+		}
+		if live > peak {
+			peak = live
+		}
+	}
+	return int64(peak) + maxWorkingSet
+}
+
+// FitsMemory reports whether the configuration fits device memory without
+// recomputation, and whether it fits with recomputation — the decision the
+// paper's figures annotate with R and OOM.
+func FitsMemory(cfg Config) (plain, withRecompute bool, err error) {
+	if err := validate(&cfg); err != nil {
+		return false, false, err
+	}
+	stages, err := cfg.Model.Partition(cfg.Schedule.D)
+	if err != nil {
+		return false, false, err
+	}
+	cfg.Recompute = false
+	plain = true
+	for _, m := range PeakMemory(&cfg, stages) {
+		if m > cfg.Device.MemBytes {
+			plain = false
+		}
+	}
+	cfg.Recompute = true
+	withRecompute = true
+	for _, m := range PeakMemory(&cfg, stages) {
+		if m > cfg.Device.MemBytes {
+			withRecompute = false
+		}
+	}
+	return plain, withRecompute, nil
+}
+
+// AutoRun simulates the configuration, enabling recomputation automatically
+// when the plain configuration does not fit (the paper's R annotation).
+// Returns the result and whether recomputation was used; OOM in the result
+// indicates even recomputation does not fit.
+func AutoRun(cfg Config) (*Result, bool, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, false, err
+	}
+	plain, _, err := FitsMemory(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	cfg.Recompute = !plain
+	res, err := Run(cfg)
+	return res, cfg.Recompute, err
+}

@@ -1,0 +1,61 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatPair(n int) (a, b, out *Tensor) {
+	rng := rand.New(rand.NewSource(1))
+	a, b, out = New(n, n), New(n, n), New(n, n)
+	a.RandN(rng, 1)
+	b.RandN(rng, 1)
+	return a, b, out
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	x, y, out := benchMatPair(128)
+	b.SetBytes(int64(128 * 128 * 128 * 2 * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(out, x, y)
+	}
+}
+
+func BenchmarkMatMulTransB128(b *testing.B) {
+	x, y, out := benchMatPair(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransB(out, x, y)
+	}
+}
+
+func BenchmarkMatMulTransA128(b *testing.B) {
+	x, y, out := benchMatPair(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransA(out, x, y)
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := New(256, 512)
+	x.RandN(rng, 1)
+	out := New(256, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxRows(out, x)
+	}
+}
+
+func BenchmarkGELU(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(1 << 16)
+	x.RandN(rng, 1)
+	out := New(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GELU(out, x)
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"chimera/internal/schedule"
+)
+
+func TestASCIIRendersAllWorkers(t *testing.T) {
+	s, err := schedule.Chimera(schedule.ChimeraConfig{D: 4, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ASCII(s, schedule.UnitPractical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"P0 ", "P1 ", "P2 ", "P3 "} {
+		if !strings.Contains(out, p) {
+			t.Fatalf("missing worker row %q in:\n%s", p, out)
+		}
+	}
+	if !strings.Contains(out, "makespan=16") {
+		t.Fatalf("expected makespan=16 in:\n%s", out)
+	}
+	// Up-pipeline ops must be visible (bracketed).
+	if !strings.Contains(out, "[") {
+		t.Fatalf("up-pipeline ops not marked:\n%s", out)
+	}
+}
+
+func TestASCIIIdleMarks(t *testing.T) {
+	s, err := schedule.GPipe(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ASCII(s, schedule.UnitEqual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ".") {
+		t.Fatal("gpipe timeline should show idle slots")
+	}
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	s, err := schedule.Chimera(schedule.ChimeraConfig{D: 4, N: 8, Concat: schedule.Direct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ChromeTrace(s, schedule.UnitPractical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Dur int64  `json:"dur"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != s.OpsTotal() {
+		t.Fatalf("%d events for %d ops", len(doc.TraceEvents), s.OpsTotal())
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Dur <= 0 || ev.Tid < 0 || ev.Tid >= 4 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	s, err := schedule.Chimera(schedule.ChimeraConfig{D: 4, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := SVG(s, schedule.UnitPractical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an svg document")
+	}
+	// One rect per op plus one background per worker.
+	if got := strings.Count(out, "<rect"); got != s.OpsTotal()+s.D {
+		t.Fatalf("rect count %d want %d", got, s.OpsTotal()+s.D)
+	}
+	// Both directions must appear in distinct colors.
+	if !strings.Contains(out, "#6baed6") || !strings.Contains(out, "#cb181d") {
+		t.Fatal("replica palette not applied")
+	}
+}
