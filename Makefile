@@ -1,0 +1,31 @@
+# CI and humans run the same commands: the .github/workflows/ci.yml jobs
+# are thin wrappers around these targets.
+
+GO ?= go
+
+.PHONY: all build test race lint bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
+	fi
+
+# bench writes BENCH_sweep.json: serial vs parallel sweep throughput,
+# speedup, and cache hit rate (the CI-archived perf trajectory).
+bench:
+	$(GO) run ./cmd/chimera-bench -json -out BENCH_sweep.json
+
+clean:
+	rm -f BENCH_sweep.json

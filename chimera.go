@@ -23,6 +23,7 @@ import (
 	"io"
 
 	"chimera/internal/data"
+	"chimera/internal/engine"
 	"chimera/internal/model"
 	"chimera/internal/optim"
 	"chimera/internal/perfmodel"
@@ -105,11 +106,52 @@ type (
 	Prediction = perfmodel.Prediction
 )
 
-// Plan ranks feasible (W, D, B) Chimera configurations by Eq. 1.
+// Plan ranks feasible (W, D, B) Chimera configurations by Eq. 1. The
+// candidates are evaluated concurrently on the shared engine.
 func Plan(req PlanRequest) ([]*Prediction, error) { return perfmodel.Plan(req) }
+
+// PlanParallel is Plan on a caller-supplied engine: pool size and caches
+// under the caller's control (e.g. NewEngine(1) for a serial reference).
+func PlanParallel(e *Engine, req PlanRequest) ([]*Prediction, error) {
+	return perfmodel.PlanOn(e, req)
+}
 
 // Predict evaluates Eq. 1 for one configuration.
 func Predict(cfg SimConfig) (*Prediction, error) { return perfmodel.Predict(cfg) }
+
+// Concurrent sweep engine (see internal/engine): a GOMAXPROCS worker pool
+// with memoized schedule construction, critical-path probes, and simulator
+// evaluations. Sweeps return outcomes in input order — identical to the
+// serial path — regardless of pool size.
+type (
+	// Engine owns the worker pool and memoization tables.
+	Engine = engine.Engine
+	// SweepSpec describes one simulator evaluation as a comparable value.
+	SweepSpec = engine.Spec
+	// SweepOutcome is the (result, recompute, error) of one evaluation.
+	SweepOutcome = engine.Outcome
+	// SweepScheduleKey identifies a memoized schedule construction.
+	SweepScheduleKey = engine.ScheduleKey
+	// EngineStats snapshots cache hit/miss counters.
+	EngineStats = engine.Stats
+)
+
+// DefaultEngine returns the process-wide shared engine used by Plan and the
+// experiment sweeps.
+func DefaultEngine() *Engine { return engine.Default() }
+
+// NewEngine builds a private engine with the given worker-pool size
+// (workers <= 0 selects GOMAXPROCS).
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		return engine.New()
+	}
+	return engine.New(engine.Workers(workers))
+}
+
+// Sweep evaluates every spec concurrently on the shared engine and returns
+// outcomes in input order.
+func Sweep(specs []SweepSpec) []SweepOutcome { return engine.Default().Sweep(specs) }
 
 // Real training runtime.
 type (

@@ -2,9 +2,15 @@
 // evaluation (DESIGN.md §4) and prints them in order. Use -only to select a
 // single experiment by id substring, -train for the real-training demo
 // iteration count.
+//
+// With -json it instead runs the concurrent sweep-engine benchmark (serial
+// uncached reference vs the worker-pool engine on a ≥64-configuration
+// tuning grid) and writes the machine-readable result to -out (default
+// BENCH_sweep.json) for CI to archive; a summary goes to stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,7 +22,19 @@ import (
 func main() {
 	only := flag.String("only", "", "run only experiments whose id contains this substring")
 	train := flag.Int("train", 12, "iterations for the real-training equivalence demo")
+	jsonMode := flag.Bool("json", false, "run the sweep-engine benchmark and emit JSON instead of the figures")
+	out := flag.String("out", "BENCH_sweep.json", "output path for -json (\"-\" for stdout)")
+	passes := flag.Int("passes", 0, "grid passes for -json (0 = default)")
 	flag.Parse()
+
+	if *jsonMode {
+		if err := runSweepBench(*out, *passes); err != nil {
+			fmt.Fprintln(os.Stderr, "chimera-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	for _, fn := range experiments.All(*train) {
 		rep, err := fn()
 		if err != nil {
@@ -28,4 +46,28 @@ func main() {
 		}
 		rep.Fprint(os.Stdout)
 	}
+}
+
+func runSweepBench(out string, passes int) error {
+	b, err := experiments.BenchmarkSweep(passes)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sweep benchmark: %d configs × %d passes — serial %.1f configs/s, parallel %.1f configs/s (%.2fx, %d workers, cache hit rate %.0f%%), identical ranking: %v\n",
+		b.Configs, b.Passes, b.Serial.ConfigsPerSec, b.Parallel.ConfigsPerSec,
+		b.Speedup, b.Parallel.Workers, 100*b.Parallel.CacheHitRate, b.IdenticalRanking)
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }

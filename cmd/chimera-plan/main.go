@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"chimera/internal/engine"
 	"chimera/internal/model"
 	"chimera/internal/perfmodel"
 	"chimera/internal/sim"
@@ -22,6 +23,7 @@ func main() {
 	bhat := flag.Int("bhat", 512, "mini-batch size B̂")
 	maxB := flag.Int("maxb", 64, "micro-batch search ceiling")
 	platform := flag.String("platform", "pizdaint", "platform: pizdaint|v100")
+	workers := flag.Int("workers", 0, "planner worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	var m model.Config
@@ -43,7 +45,11 @@ func main() {
 	if *platform == "v100" {
 		req.Device, req.Network = sim.V100Node(), sim.NVLinkIBNetwork()
 	}
-	preds, err := perfmodel.Plan(req)
+	eng := engine.Default()
+	if *workers > 0 {
+		eng = engine.New(engine.Workers(*workers))
+	}
+	preds, err := perfmodel.PlanOn(eng, req)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chimera-plan:", err)
 		os.Exit(1)

@@ -1,0 +1,3 @@
+module chimera
+
+go 1.24

@@ -1,0 +1,310 @@
+// Package engine is the shared concurrent evaluation engine behind the
+// planner (§3.4 configuration selection) and the experiment sweeps (§4.2):
+// it fans a grid of simulator configurations out over a GOMAXPROCS-sized
+// worker pool and memoizes the expensive, repeatedly-shared intermediates —
+// schedule construction, critical-path probing, and full simulator
+// evaluations — keyed by their value-type descriptions.
+//
+// Two properties make the fan-out safe and the results reproducible:
+//
+//   - constructed Schedules are immutable after generation and every
+//     replay/analysis entry point is read-only, so one cached schedule can
+//     be shared by any number of concurrent evaluations;
+//   - results are written into per-index slots and selection helpers scan
+//     them in input order, so a Sweep returns bit-identical output whether
+//     it ran on one worker or many.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"chimera/internal/model"
+	"chimera/internal/schedule"
+	"chimera/internal/sim"
+)
+
+// ScheduleKey identifies a schedule construction: the memoization key for
+// generated schedules and their derived analyses (critical paths). The zero
+// F and Concat values mean "scheme defaults" (F=1, direct concatenation).
+type ScheduleKey struct {
+	// Scheme is the generator name: "chimera", "gpipe", "dapple", "gems",
+	// "pipedream", "pipedream-2bw", "1f1b".
+	Scheme string
+	// D is the number of pipeline stages; N the micro-batch count.
+	D, N int
+	// F is Chimera's pipelines-per-direction (ignored by other schemes).
+	F int
+	// Concat is Chimera's N > D scaling method (ignored by other schemes).
+	Concat schedule.ConcatMode
+}
+
+// ChimeraKey is shorthand for a Chimera schedule key. F is canonicalized
+// (0 → 1) so keys from configs and keys from built schedules coincide.
+func ChimeraKey(d, n, f int, concat schedule.ConcatMode) ScheduleKey {
+	if f == 0 {
+		f = 1
+	}
+	return ScheduleKey{Scheme: "chimera", D: d, N: n, F: f, Concat: concat}
+}
+
+// canonical maps equivalent keys onto one representative so they share one
+// cache entry: chimera's F=0 means F=1, and any concatenation mode with
+// N ≤ D builds the direct schedule (the generator's `n <= d || Direct`
+// branch); non-chimera schemes ignore F and Concat entirely. Every memo
+// boundary (Schedule, CriticalPath, Evaluate) canonicalizes first.
+func (k ScheduleKey) canonical() ScheduleKey {
+	if k.Scheme != "chimera" {
+		k.F, k.Concat = 0, schedule.Direct
+		return k
+	}
+	if k.F == 0 {
+		k.F = 1
+	}
+	if k.N <= k.D {
+		k.Concat = schedule.Direct
+	}
+	return k
+}
+
+// keyOf returns the ScheduleKey describing an already-built schedule; it is
+// the inverse of buildSchedule and guards the cache's canonical-key
+// invariant (see the engine tests).
+func keyOf(s *schedule.Schedule) ScheduleKey {
+	k := ScheduleKey{Scheme: s.Scheme, D: s.D, N: s.N}
+	if s.Scheme == "chimera" {
+		k.F = s.F
+		// Backward halving reuses the doubled-forward op structure, so a
+		// halved schedule may set both flags: check HalvedBackward first.
+		switch {
+		case s.HalvedBackward:
+			k.Concat = schedule.BackwardHalving
+		case s.DoubledForward:
+			k.Concat = schedule.ForwardDoubling
+		}
+	}
+	return k
+}
+
+// Spec fully describes one simulator evaluation as a comparable value: the
+// schedule by key plus every sim.Config knob. Being a value type, it serves
+// directly as the result-cache key.
+type Spec struct {
+	Sched ScheduleKey
+	Model model.Config
+	// MicroBatch is B; W the number of data-parallel pipeline replicas.
+	MicroBatch int
+	W          int
+	// Recompute forces activation recomputation; AutoRecompute instead
+	// mirrors sim.AutoRun, enabling recomputation only when the plain
+	// configuration exceeds device memory.
+	Recompute     bool
+	AutoRecompute bool
+	Sync          sim.SyncStrategy
+	Allreduce     sim.AllReduceAlg
+	Interference  float64
+	ZeRO          bool
+	// CompressionFactor scales allreduce bytes (0/1 = exact fp32).
+	CompressionFactor float64
+	Device            sim.Device
+	Network           sim.Network
+}
+
+// Config materializes the sim.Config for this spec around a built schedule.
+func (sp Spec) Config(s *schedule.Schedule) sim.Config {
+	return sim.Config{
+		Model: sp.Model, Schedule: s, MicroBatch: sp.MicroBatch, W: sp.W,
+		Recompute: sp.Recompute, Sync: sp.Sync, Allreduce: sp.Allreduce,
+		Interference: sp.Interference, ZeRO: sp.ZeRO,
+		CompressionFactor: sp.CompressionFactor,
+		Device:            sp.Device, Network: sp.Network,
+	}
+}
+
+// Outcome is the result of evaluating one Spec. Exactly one of Result and
+// Err is set. Outcomes are shared between cache users: treat Result as
+// read-only.
+type Outcome struct {
+	Result *sim.Result
+	// Recompute reports whether the evaluation ran with activation
+	// recomputation (meaningful under AutoRecompute).
+	Recompute bool
+	Err       error
+}
+
+// Stats is a snapshot of the engine's cache counters.
+type Stats struct {
+	ScheduleHits, ScheduleMisses uint64
+	CriticalHits, CriticalMisses uint64
+	OutcomeHits, OutcomeMisses   uint64
+}
+
+// HitRate returns the fraction of all cache lookups that were hits.
+func (s Stats) HitRate() float64 {
+	hits := s.ScheduleHits + s.CriticalHits + s.OutcomeHits
+	total := hits + s.ScheduleMisses + s.CriticalMisses + s.OutcomeMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// Engine owns a worker pool and the memoization tables. The zero value is
+// not usable; construct with New or use the process-wide Default engine.
+type Engine struct {
+	workers int
+	// sem bounds in-flight ForEach bodies engine-wide, so Workers(n) holds
+	// even when many goroutines share one engine (the Default engine's
+	// normal situation), not just per call.
+	sem       chan struct{}
+	schedules *Memo[ScheduleKey, schedOutcome]
+	criticals *Memo[ScheduleKey, critOutcome]
+	outcomes  *Memo[Spec, Outcome]
+}
+
+type schedOutcome struct {
+	s   *schedule.Schedule
+	err error
+}
+
+type critOutcome struct {
+	cf, cb int
+	err    error
+}
+
+// Option configures New.
+type Option func(*Engine)
+
+// Workers fixes the worker-pool size (default GOMAXPROCS). One worker makes
+// every engine entry point run serially on the calling goroutine.
+func Workers(n int) Option {
+	return func(e *Engine) {
+		if n >= 1 {
+			e.workers = n
+		}
+	}
+}
+
+// NoCache disables all memoization: every evaluation recomputes from
+// scratch. Used for the serial reference path in benchmarks and tests.
+func NoCache() Option {
+	return func(e *Engine) {
+		e.schedules, e.criticals, e.outcomes = nil, nil, nil
+	}
+}
+
+// New builds an engine with a GOMAXPROCS-sized pool and empty caches.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		workers:   runtime.GOMAXPROCS(0),
+		schedules: NewMemo[ScheduleKey, schedOutcome](),
+		criticals: NewMemo[ScheduleKey, critOutcome](),
+		outcomes:  NewMemo[Spec, Outcome](),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	e.sem = make(chan struct{}, e.workers)
+	return e
+}
+
+var (
+	defaultOnce sync.Once
+	defaultEng  *Engine
+)
+
+// Default returns the process-wide shared engine. The planner facade and
+// the experiment sweeps all route through it, so repeated figures reuse
+// each other's schedules and evaluations.
+//
+// Retention: caches are unbounded and never evicted — ideal for the
+// CLIs and figure suites this repo ships, where reuse is the point. A
+// long-lived embedder sweeping many distinct configurations should use a
+// private New() engine per batch, or call Reset between batches.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEng = New() })
+	return defaultEng
+}
+
+// WorkerCount reports the configured pool size.
+func (e *Engine) WorkerCount() int { return e.workers }
+
+// Schedule returns the memoized schedule for key, constructing it on first
+// use. The returned schedule is shared: callers must not mutate it.
+func (e *Engine) Schedule(key ScheduleKey) (*schedule.Schedule, error) {
+	key = key.canonical()
+	out := e.schedules.Do(key, func() schedOutcome {
+		s, err := buildSchedule(key)
+		return schedOutcome{s, err}
+	})
+	return out.s, out.err
+}
+
+func buildSchedule(key ScheduleKey) (*schedule.Schedule, error) {
+	if key.Scheme == "chimera" {
+		return schedule.Chimera(schedule.ChimeraConfig{
+			D: key.D, N: key.N, F: key.F, Concat: key.Concat,
+		})
+	}
+	return schedule.ByName(key.Scheme, key.D, key.N)
+}
+
+// CriticalPath returns the memoized (Cf, Cb) critical-path counts for the
+// schedule identified by key (§3.4's Eq. 1 inputs).
+func (e *Engine) CriticalPath(key ScheduleKey) (cf, cb int, err error) {
+	key = key.canonical()
+	out := e.criticals.Do(key, func() critOutcome {
+		s, err := e.Schedule(key)
+		if err != nil {
+			return critOutcome{err: err}
+		}
+		cf, cb, err := schedule.CriticalPath(s)
+		return critOutcome{cf, cb, err}
+	})
+	return out.cf, out.cb, out.err
+}
+
+// Evaluate runs (or recalls) one simulator evaluation.
+func (e *Engine) Evaluate(spec Spec) Outcome {
+	spec.Sched = spec.Sched.canonical()
+	return e.outcomes.Do(spec, func() Outcome { return e.evaluate(spec) })
+}
+
+func (e *Engine) evaluate(spec Spec) Outcome {
+	s, err := e.Schedule(spec.Sched)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	cfg := spec.Config(s)
+	if spec.AutoRecompute {
+		res, rec, err := sim.AutoRun(cfg)
+		return Outcome{Result: res, Recompute: rec, Err: err}
+	}
+	res, err := sim.Run(cfg)
+	return Outcome{Result: res, Recompute: spec.Recompute, Err: err}
+}
+
+// Sweep evaluates every spec on the worker pool and returns the outcomes in
+// input order. Outcome i corresponds to specs[i] regardless of which worker
+// computed it or when.
+func (e *Engine) Sweep(specs []Spec) []Outcome {
+	out := make([]Outcome, len(specs))
+	e.ForEach(len(specs), func(i int) { out[i] = e.Evaluate(specs[i]) })
+	return out
+}
+
+// Stats snapshots the cache counters.
+func (e *Engine) Stats() Stats {
+	var st Stats
+	st.ScheduleHits, st.ScheduleMisses = e.schedules.Stats()
+	st.CriticalHits, st.CriticalMisses = e.criticals.Stats()
+	st.OutcomeHits, st.OutcomeMisses = e.outcomes.Stats()
+	return st
+}
+
+// Reset drops all cached entries and statistics.
+func (e *Engine) Reset() {
+	e.schedules.Reset()
+	e.criticals.Reset()
+	e.outcomes.Reset()
+}

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Memo is a concurrency-safe memoization table with single-flight
+// semantics: for each key, the compute function runs exactly once no matter
+// how many goroutines ask concurrently; late callers block until the first
+// computation finishes and then share its value. Values must be treated as
+// immutable by callers — they are handed out to every requester.
+//
+// A nil *Memo is valid and disables caching (every Do call computes).
+type Memo[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*memoEntry[V]
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	v    V
+}
+
+// NewMemo returns an empty memoization table.
+func NewMemo[K comparable, V any]() *Memo[K, V] {
+	return &Memo[K, V]{entries: make(map[K]*memoEntry[V])}
+}
+
+// Do returns the memoized value for key, computing it with fn on first use.
+func (m *Memo[K, V]) Do(key K, fn func() V) V {
+	if m == nil {
+		return fn()
+	}
+	m.mu.Lock()
+	e, ok := m.entries[key]
+	if !ok {
+		e = &memoEntry[V]{}
+		m.entries[key] = e
+	}
+	m.mu.Unlock()
+	if ok {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+	e.once.Do(func() { e.v = fn() })
+	return e.v
+}
+
+// Stats returns the cumulative hit and miss counts. A "hit" is a Do call
+// that found an existing entry (it may still have waited for the in-flight
+// computation); a "miss" is a call that created the entry.
+func (m *Memo[K, V]) Stats() (hits, misses uint64) {
+	if m == nil {
+		return 0, 0
+	}
+	return m.hits.Load(), m.misses.Load()
+}
+
+// Len returns the number of distinct keys computed or in flight.
+func (m *Memo[K, V]) Len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Reset drops all entries and zeroes the statistics.
+func (m *Memo[K, V]) Reset() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.entries = make(map[K]*memoEntry[V])
+	m.mu.Unlock()
+	m.hits.Store(0)
+	m.misses.Store(0)
+}

@@ -1,0 +1,52 @@
+package engine
+
+import "sync"
+
+// ForEach runs fn(i) for every i in [0, n) on the engine's worker pool and
+// returns when all calls have completed. Indices are fed to a fixed set of
+// workers through a channel (the classic scheduler fan-out); with one
+// worker it degenerates to a plain loop, which is the serial reference
+// path used by tests and benchmarks.
+//
+// The Workers(n) bound is engine-wide: every fn invocation holds a slot
+// from a shared semaphore, so concurrent ForEach/Sweep/Plan callers on one
+// engine collectively run at most n bodies at a time. Consequently fn must
+// not call ForEach on the same engine (a holder waiting for child slots
+// can deadlock under saturation); evaluate work through Evaluate/Schedule
+// instead, which never re-enter the pool.
+//
+// fn must write results into per-index slots (not append to shared state)
+// so that the output is deterministic regardless of execution order.
+func (e *Engine) ForEach(n int, fn func(i int)) {
+	run := func(i int) {
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+		fn(i)
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

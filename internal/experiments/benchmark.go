@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"runtime"
+	"sort"
+	"time"
+
+	"chimera/internal/engine"
+	"chimera/internal/model"
+)
+
+// SweepBenchmark is the machine-readable result of BenchmarkSweep: the
+// engine's serial-versus-parallel throughput on a tuning-sweep grid, emitted
+// by `chimera-bench -json` as BENCH_sweep.json so CI can archive the perf
+// trajectory across PRs.
+type SweepBenchmark struct {
+	// Model, P and Bhat describe the swept workload.
+	Model string `json:"model"`
+	P     int    `json:"p"`
+	Bhat  int    `json:"bhat"`
+	// Configs is the number of distinct feasible grid configurations;
+	// Passes how many times the grid is walked (figures walk their grids
+	// more than once: once to find the best point, again to print); and
+	// Evaluations = Configs·Passes the total work presented to each side.
+	Configs     int `json:"configs"`
+	Passes      int `json:"passes"`
+	Evaluations int `json:"evaluations"`
+
+	Serial   SweepBenchSide `json:"serial"`
+	Parallel SweepBenchSide `json:"parallel"`
+
+	// Speedup is parallel over serial throughput (configs/sec): the
+	// engine's combined pool + cache benefit on the repeated-walk access
+	// pattern. UncachedSpeedup isolates the pool alone — one uncached
+	// parallel pass against one uncached serial pass (≈1.0 on a single
+	// core, ≈ the core count on real CI runners); the cache contribution
+	// is visible separately as Parallel.CacheHitRate.
+	Speedup         float64 `json:"speedup"`
+	UncachedSpeedup float64 `json:"uncached_speedup"`
+	// IdenticalRanking reports that both sides produced bit-identical
+	// throughput rankings over the grid — the engine's determinism gate.
+	IdenticalRanking bool `json:"identical_ranking"`
+}
+
+// SweepBenchSide is one side (serial reference or engine) of the benchmark.
+type SweepBenchSide struct {
+	Workers       int     `json:"workers"`
+	Seconds       float64 `json:"seconds"`
+	ConfigsPerSec float64 `json:"configs_per_sec"`
+	// CacheHitRate is the fraction of cache lookups that hit (0 for the
+	// uncached serial reference).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// benchGrid builds the benchmark's configuration grid: the §4.2.1-style
+// tuning sweep (every scheme × D × B) for Bert-48 on 32 workers at B̂=512.
+func benchGrid() []gridPoint {
+	m, plat := model.BERT48(), pizDaint()
+	var rcs []runConfig
+	for _, scheme := range schemeList {
+		rcs = append(rcs, crossProduct(scheme, []int{2, 4, 8, 16}, powersOfTwo(64))...)
+	}
+	return buildGrid(m, plat, 32, func(_, _ int) int { return 512 }, rcs)
+}
+
+// rankOutcomes returns grid indices ordered by throughput descending
+// (infeasible points last), ties broken by index — a deterministic ranking
+// for comparing the serial and parallel sides.
+func rankOutcomes(outs []engine.Outcome) []int {
+	idx := make([]int, len(outs))
+	for i := range idx {
+		idx[i] = i
+	}
+	tp := func(o engine.Outcome) float64 {
+		if o.Err != nil || o.Result == nil || o.Result.OOM {
+			return -1
+		}
+		return o.Result.Throughput
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return tp(outs[idx[a]]) > tp(outs[idx[b]]) })
+	return idx
+}
+
+// runSide walks the grid `passes` times on one engine and returns the last
+// pass's outcomes plus the wall-clock seconds.
+func runSide(e *engine.Engine, specs []engine.Spec, passes int) ([]engine.Outcome, float64) {
+	start := time.Now()
+	var outs []engine.Outcome
+	for p := 0; p < passes; p++ {
+		outs = e.Sweep(specs)
+	}
+	return outs, time.Since(start).Seconds()
+}
+
+// BenchmarkSweep measures the concurrent engine against the serial uncached
+// reference on the same grid and verifies both produce identical rankings.
+// passes <= 0 selects the default of 4.
+func BenchmarkSweep(passes int) (*SweepBenchmark, error) {
+	if passes <= 0 {
+		passes = 4
+	}
+	grid := benchGrid()
+	specs := make([]engine.Spec, len(grid))
+	for i, g := range grid {
+		specs[i] = g.spec
+	}
+
+	serialEng := engine.New(engine.Workers(1), engine.NoCache())
+	serialOuts, serialSec := runSide(serialEng, specs, passes)
+
+	parallelEng := engine.New()
+	parallelOuts, parallelSec := runSide(parallelEng, specs, passes)
+	stats := parallelEng.Stats()
+
+	// Pool-only reference: one pass, full pool, no caches.
+	_, uncachedSec := runSide(engine.New(engine.NoCache()), specs, 1)
+
+	evals := passes * len(specs)
+	b := &SweepBenchmark{
+		Model: "Bert-48", P: 32, Bhat: 512,
+		Configs: len(specs), Passes: passes, Evaluations: evals,
+		Serial: SweepBenchSide{
+			Workers: 1, Seconds: serialSec,
+			ConfigsPerSec: float64(evals) / serialSec,
+		},
+		Parallel: SweepBenchSide{
+			Workers: runtime.GOMAXPROCS(0), Seconds: parallelSec,
+			ConfigsPerSec: float64(evals) / parallelSec,
+			CacheHitRate:  stats.HitRate(),
+		},
+	}
+	b.Speedup = b.Parallel.ConfigsPerSec / b.Serial.ConfigsPerSec
+	b.UncachedSpeedup = (serialSec / float64(passes)) / uncachedSec
+
+	b.IdenticalRanking = true
+	sr, pr := rankOutcomes(serialOuts), rankOutcomes(parallelOuts)
+	for i := range sr {
+		if sr[i] != pr[i] {
+			b.IdenticalRanking = false
+			break
+		}
+		so, po := serialOuts[sr[i]], parallelOuts[pr[i]]
+		sOK := so.Err == nil && so.Result != nil
+		pOK := po.Err == nil && po.Result != nil
+		if sOK != pOK || (sOK && so.Result.Throughput != po.Result.Throughput) {
+			b.IdenticalRanking = false
+			break
+		}
+	}
+	return b, nil
+}

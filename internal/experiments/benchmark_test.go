@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+// TestBenchmarkSweepGrid: the CI-gated properties that don't depend on
+// machine speed — grid size, bookkeeping, and serial/parallel agreement.
+// (The ≥2× speedup itself is timing-dependent and asserted in CI.)
+func TestBenchmarkSweepGrid(t *testing.T) {
+	b, err := BenchmarkSweep(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Configs < 64 {
+		t.Fatalf("benchmark grid has %d configurations, acceptance floor is 64", b.Configs)
+	}
+	if b.Evaluations != b.Configs*b.Passes {
+		t.Fatalf("evaluations %d != configs %d × passes %d", b.Evaluations, b.Configs, b.Passes)
+	}
+	if !b.IdenticalRanking {
+		t.Fatal("parallel ranking diverged from the serial reference")
+	}
+	if b.Serial.ConfigsPerSec <= 0 || b.Parallel.ConfigsPerSec <= 0 {
+		t.Fatalf("degenerate throughput: %+v", b)
+	}
+	if b.Parallel.CacheHitRate <= 0 || b.Parallel.CacheHitRate >= 1 {
+		t.Fatalf("implausible cache hit rate %f", b.Parallel.CacheHitRate)
+	}
+}

@@ -3,23 +3,44 @@ package experiments
 import (
 	"fmt"
 
+	"chimera/internal/engine"
 	"chimera/internal/model"
 	"chimera/internal/schedule"
 	"chimera/internal/sim"
 )
 
 // chimeraVariant simulates one Chimera concatenation variant at fixed
-// (D, B) across a mini-batch sweep.
+// (D, B) across a mini-batch sweep. The B̂ points are independent, so they
+// run concurrently on the engine; reporting walks them in input order.
 func chimeraVariant(r *Report, m model.Config, plat platform, p, d, b int, mode schedule.ConcatMode, bhats []int) {
 	name := "chimera(" + mode.String() + ")"
+	grid := make([]gridPoint, 0, len(bhats))
 	for _, bhat := range bhats {
-		res, rec := evalPoint(m, plat, p, bhat, runConfig{scheme: "chimera", d: d, b: b, concat: mode})
-		if res == nil {
-			r.addf("  %-28s B̂=%-5d infeasible", name, bhat)
+		rc := runConfig{scheme: "chimera", d: d, b: b, concat: mode}
+		spec, ok := pointSpec(m, plat, p, bhat, rc)
+		grid = append(grid, gridPoint{rc: rc, bhat: bhat, spec: spec, ok: ok})
+	}
+	var specs []engine.Spec
+	idx := make([]int, 0, len(grid))
+	for i, g := range grid {
+		if g.ok {
+			specs = append(specs, g.spec)
+			idx = append(idx, i)
+		}
+	}
+	outs := eng.Sweep(specs)
+	results := make([]engine.Outcome, len(grid))
+	for j, i := range idx {
+		results[i] = outs[j]
+	}
+	for i, g := range grid {
+		res, rec := outcomePoint(results[i])
+		if !g.ok || res == nil {
+			r.addf("  %-28s B̂=%-5d infeasible", name, g.bhat)
 			continue
 		}
-		r.addf("  %-28s B̂=%-5d B=%-3d%-3s %7.1f seq/s", name, bhat, b, recompStr(rec), res.Throughput)
-		r.Metrics[fmt.Sprintf("%s:%d", name, bhat)] = res.Throughput
+		r.addf("  %-28s B̂=%-5d B=%-3d%-3s %7.1f seq/s", name, g.bhat, b, recompStr(rec), res.Throughput)
+		r.Metrics[fmt.Sprintf("%s:%d", name, g.bhat)] = res.Throughput
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"chimera/internal/engine"
 	"chimera/internal/model"
 	"chimera/internal/schedule"
 	"chimera/internal/sim"
@@ -22,21 +23,16 @@ func bestForScheme(m model.Config, plat platform, p, bhat int, scheme string, ds
 	if scheme != "chimera" {
 		return bestPoint(m, plat, p, bhat, scheme, ds, bs)
 	}
-	var best *sweepResult
+	var rcs []runConfig
 	for _, d := range ds {
 		for _, b := range bs {
 			for _, mode := range []schedule.ConcatMode{schedule.Direct, schedule.ForwardDoubling, schedule.BackwardHalving} {
-				res, rec := evalPoint(m, plat, p, bhat, runConfig{scheme: "chimera", d: d, b: b, concat: mode})
-				if res == nil {
-					continue
-				}
-				if best == nil || res.Throughput > best.res.Throughput {
-					best = &sweepResult{res: res, d: d, b: b, w: p / d, recompute: rec}
-				}
+				rcs = append(rcs, runConfig{scheme: "chimera", d: d, b: b, concat: mode})
 			}
 		}
 	}
-	return best
+	grid := buildGrid(m, plat, p, func(_, _ int) int { return bhat }, rcs)
+	return sweepBest(p, grid)
 }
 
 // Figure1 reproduces the headline chart: GPT-2 on 2,048 workers at
@@ -92,26 +88,25 @@ func Figure12() (*Report, error) {
 		bhat := 256 * p / 16
 		w := p / 4
 		n := bhat / (w * 8)
-		sch, err := schedule.Chimera(schedule.ChimeraConfig{D: 4, N: n, Concat: schedule.Direct})
-		if err != nil {
-			return nil, err
+		// The three strategies share one schedule (cached by key) and are
+		// independent evaluations, so they run as one engine sweep.
+		spec := engine.Spec{
+			Sched: engine.ChimeraKey(4, n, 0, schedule.Direct),
+			Model: m, MicroBatch: 8, W: w,
+			Device: plat.dev, Network: plat.net,
 		}
-		run := func(strategy sim.SyncStrategy) (*sim.Result, error) {
-			return sim.Run(sim.Config{Model: m, Schedule: sch, MicroBatch: 8, W: w,
-				Device: plat.dev, Network: plat.net, Sync: strategy})
+		specs := make([]engine.Spec, 3)
+		for i, strategy := range []sim.SyncStrategy{sim.SyncEagerOpt, sim.SyncEager, sim.SyncPostHoc} {
+			specs[i] = spec
+			specs[i].Sync = strategy
 		}
-		opt, err := run(sim.SyncEagerOpt)
-		if err != nil {
-			return nil, err
+		outs := eng.Sweep(specs)
+		for _, o := range outs {
+			if o.Err != nil {
+				return nil, o.Err
+			}
 		}
-		eager, err := run(sim.SyncEager)
-		if err != nil {
-			return nil, err
-		}
-		post, err := run(sim.SyncPostHoc)
-		if err != nil {
-			return nil, err
-		}
+		opt, eager, post := outs[0].Result, outs[1].Result, outs[2].Result
 		r.addf("%d nodes (B̂=%d): eager-sync-opt=%.1f seq/s  eager-sync=%.1f (opt %.2fx)  post-hoc=%.1f (opt %.2fx)",
 			p, bhat, opt.Throughput, eager.Throughput, opt.Throughput/eager.Throughput,
 			post.Throughput, opt.Throughput/post.Throughput)

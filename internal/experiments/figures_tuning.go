@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"chimera/internal/engine"
 	"chimera/internal/model"
 	"chimera/internal/perfmodel"
 	"chimera/internal/schedule"
@@ -105,7 +106,8 @@ func Figure13() (*Report, error) {
 				continue
 			}
 			n := pn.bhat / (c.w * c.b)
-			sch, err := schedule.Chimera(schedule.ChimeraConfig{D: c.d, N: n, Concat: schedule.Direct})
+			key := engine.ChimeraKey(c.d, n, 0, schedule.Direct)
+			sch, err := eng.Schedule(key)
 			if err != nil {
 				continue
 			}
@@ -116,11 +118,21 @@ func Figure13() (*Report, error) {
 				continue
 			}
 			cfg.Recompute = !plain
-			res, err := sim.Run(cfg)
+			spec := engine.Spec{Sched: key, Model: pn.m, MicroBatch: c.b, W: c.w,
+				Recompute: cfg.Recompute, Device: cfg.Device, Network: cfg.Network}
+			o := eng.Evaluate(spec)
+			if o.Err != nil {
+				return nil, o.Err
+			}
+			res := o.Result
+			// The model prediction reuses the engine's memoized critical
+			// path for this schedule (both panels share keys with other
+			// figures and the planner).
+			cf, cb, err := eng.CriticalPath(key)
 			if err != nil {
 				return nil, err
 			}
-			pred, err := perfmodel.Predict(cfg)
+			pred, err := perfmodel.PredictWithCritical(cfg, cf, cb)
 			if err != nil {
 				return nil, err
 			}

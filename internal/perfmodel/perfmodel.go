@@ -10,6 +10,11 @@
 // §3.2. Because Chimera greatly alleviates the bubble problem, the planner
 // greedily picks the maximum micro-batch size B that fits device memory and
 // uses the model only to choose (W, D) — the paper's reduced tuning space.
+//
+// Plan fans the (W, D) candidates out over the shared internal/engine
+// worker pool and reuses its memoized schedules and critical paths; the
+// ranking is deterministic and identical whether the engine runs on one
+// worker or many.
 package perfmodel
 
 import (
@@ -17,36 +22,17 @@ import (
 	"math"
 	"sort"
 
+	"chimera/internal/engine"
 	"chimera/internal/model"
 	"chimera/internal/schedule"
 	"chimera/internal/sim"
 )
 
-// CriticalPath returns (Cf, Cb): the number of forward and backward passes
-// on the critical path of the schedule under the practical workload ratio
-// (backward = 2× forward). It probes the dependency structure with two
-// replays of slightly different forward costs and solves the linear system;
-// the path is assumed stable under the perturbation.
+// CriticalPath returns (Cf, Cb), the Eq. 1 critical-path counts. It
+// forwards to schedule.CriticalPath, which owns the dependency-structure
+// probe (kept here for API compatibility).
 func CriticalPath(s *schedule.Schedule) (cf, cb int, err error) {
-	m1, err := replaySpan(s, 100, 200)
-	if err != nil {
-		return 0, 0, err
-	}
-	m2, err := replaySpan(s, 101, 200)
-	if err != nil {
-		return 0, 0, err
-	}
-	cf = int(m2 - m1)
-	cb = int((m1 - int64(cf)*100) / 200)
-	return cf, cb, nil
-}
-
-func replaySpan(s *schedule.Schedule, f, b int64) (int64, error) {
-	tl, err := s.Replay(schedule.CostModel{FUnit: f, BUnit: b})
-	if err != nil {
-		return 0, err
-	}
-	return tl.Makespan, nil
+	return schedule.CriticalPath(s)
 }
 
 // Prediction is the model's estimate for one configuration.
@@ -61,12 +47,21 @@ type Prediction struct {
 
 // Predict evaluates Eq. 1 for a Chimera configuration.
 func Predict(cfg sim.Config) (*Prediction, error) {
-	s := cfg.Schedule
-	stages, err := cfg.Model.Partition(s.D)
+	cf, cb, err := CriticalPath(cfg.Schedule)
 	if err != nil {
 		return nil, err
 	}
-	cf, cb, err := CriticalPath(s)
+	return PredictWithCritical(cfg, cf, cb)
+}
+
+// PredictWithCritical evaluates Eq. 1 with precomputed critical-path counts
+// (Cf, Cb). The counts depend only on the schedule's dependency structure,
+// so callers sweeping many configurations over shared schedules (the
+// planner, the experiment grids) obtain them once from the engine's memo
+// instead of re-probing per configuration.
+func PredictWithCritical(cfg sim.Config, cf, cb int) (*Prediction, error) {
+	s := cfg.Schedule
+	stages, err := cfg.Model.Partition(s.D)
 	if err != nil {
 		return nil, err
 	}
@@ -166,37 +161,61 @@ type PlanRequest struct {
 // and returns them ranked by predicted throughput (best first). For each
 // (W, D) it greedily selects the maximum power-of-two micro-batch size that
 // fits device memory (with recomputation as fallback), the paper's §3.4
-// strategy.
+// strategy. Candidates are evaluated concurrently on the shared engine.
 func Plan(req PlanRequest) ([]*Prediction, error) {
+	return PlanOn(engine.Default(), req)
+}
+
+// PlanOn is Plan running on a caller-supplied engine (pool size and caches
+// under the caller's control). The returned ranking is deterministic:
+// throughput descending, with ties broken by smaller D then larger B.
+func PlanOn(e *engine.Engine, req PlanRequest) ([]*Prediction, error) {
 	if req.MaxB == 0 {
 		req.MaxB = 64
 	}
-	var out []*Prediction
+	var ds []int
 	for d := 2; d <= req.P; d += 2 {
 		if req.P%d != 0 || req.Model.Layers%d != 0 {
 			continue
 		}
-		w := req.P / d
-		if req.MiniBatch%w != 0 {
+		if req.MiniBatch%(req.P/d) != 0 {
 			continue
 		}
-		pred, err := planOne(req, w, d)
-		if err != nil || pred == nil {
+		ds = append(ds, d)
+	}
+	preds := make([]*Prediction, len(ds))
+	errs := make([]error, len(ds))
+	e.ForEach(len(ds), func(i int) {
+		d := ds[i]
+		preds[i], errs[i] = planOne(e, req, req.P/d, d)
+	})
+	var out []*Prediction
+	for i, p := range preds {
+		if errs[i] != nil || p == nil {
 			continue
 		}
-		out = append(out, pred)
+		out = append(out, p)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("perfmodel: no feasible configuration for P=%d B̂=%d", req.P, req.MiniBatch)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Throughput > out[j].Throughput })
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Throughput != b.Throughput {
+			return a.Throughput > b.Throughput
+		}
+		if a.D != b.D {
+			return a.D < b.D
+		}
+		return a.B > b.B
+	})
 	return out, nil
 }
 
 // planOne finds the greedy max-B configuration at fixed (W, D): the largest
 // power-of-two B that fits device memory without recomputation; only if no
 // B fits plainly, the largest B that fits with recomputation.
-func planOne(req PlanRequest, w, d int) (*Prediction, error) {
+func planOne(e *engine.Engine, req PlanRequest, w, d int) (*Prediction, error) {
 	perPipe := req.MiniBatch / w
 	for _, allowRecompute := range []bool{false, true} {
 		for b := req.MaxB; b >= 1; b /= 2 {
@@ -204,7 +223,8 @@ func planOne(req PlanRequest, w, d int) (*Prediction, error) {
 				continue
 			}
 			n := perPipe / b
-			sch, err := schedule.Chimera(schedule.ChimeraConfig{D: d, N: n, Concat: schedule.Direct})
+			key := engine.ChimeraKey(d, n, 0, schedule.Direct)
+			sch, err := e.Schedule(key)
 			if err != nil {
 				continue
 			}
@@ -216,13 +236,15 @@ func planOne(req PlanRequest, w, d int) (*Prediction, error) {
 			if err != nil {
 				return nil, err
 			}
-			if plain {
-				return Predict(cfg)
+			if !plain && !(allowRecompute && withRec) {
+				continue
 			}
-			if allowRecompute && withRec {
-				cfg.Recompute = true
-				return Predict(cfg)
+			cfg.Recompute = !plain
+			cf, cb, err := e.CriticalPath(key)
+			if err != nil {
+				return nil, err
 			}
+			return PredictWithCritical(cfg, cf, cb)
 		}
 	}
 	return nil, nil

@@ -1,0 +1,32 @@
+package schedule
+
+// CriticalPath returns (Cf, Cb): the number of forward and backward passes
+// on the critical path of the schedule under the practical workload ratio
+// (backward = 2× forward). It probes the dependency structure with two
+// replays of slightly different forward costs and solves the linear system;
+// the path is assumed stable under the perturbation.
+//
+// These are the Cf and Cb of the paper's Eq. 1 (§3.4). The counts depend
+// only on the schedule's dependency structure, so they are memoized per
+// ScheduleKey by internal/engine.
+func CriticalPath(s *Schedule) (cf, cb int, err error) {
+	m1, err := criticalSpan(s, 100, 200)
+	if err != nil {
+		return 0, 0, err
+	}
+	m2, err := criticalSpan(s, 101, 200)
+	if err != nil {
+		return 0, 0, err
+	}
+	cf = int(m2 - m1)
+	cb = int((m1 - int64(cf)*100) / 200)
+	return cf, cb, nil
+}
+
+func criticalSpan(s *Schedule, f, b int64) (int64, error) {
+	tl, err := s.Replay(CostModel{FUnit: f, BUnit: b})
+	if err != nil {
+		return 0, err
+	}
+	return tl.Makespan, nil
+}

@@ -212,8 +212,14 @@ func syncFinish(cfg *Config, stages []model.Stage, computeEnd []int64, gradReady
 	for w := 0; w < s.D; w++ {
 		ce := float64(computeEnd[w]) * timeQuantum
 		// Collect this worker's allreduces sorted by gradient-ready time;
-		// they serialize on the worker's single network interface.
-		type arOp struct{ ready, cost float64 }
+		// they serialize on the worker's single network interface. The sort
+		// breaks ready-time ties on (stage, replica) so the launch order —
+		// and therefore the result — is deterministic even though gradReady
+		// is a map (concurrent sweeps compare results bit-for-bit).
+		type arOp struct {
+			ready, cost    float64
+			stage, replica int
+		}
 		var ops []arOp
 		cf := cfg.CompressionFactor
 		if cf <= 0 || cf > 1 {
@@ -222,11 +228,22 @@ func syncFinish(cfg *Config, stages []model.Stage, computeEnd []int64, gradReady
 		for pl, readyQ := range gradReady[w] {
 			bytes := int64(float64(stages[pl.Stage].Params()*4) * cf)
 			ops = append(ops, arOp{
-				ready: float64(readyQ) * timeQuantum,
-				cost:  cfg.Network.AllReduceCost(cfg.Allreduce, r, bytes),
+				ready:   float64(readyQ) * timeQuantum,
+				cost:    cfg.Network.AllReduceCost(cfg.Allreduce, r, bytes),
+				stage:   pl.Stage,
+				replica: pl.Replica,
 			})
 		}
-		sort.Slice(ops, func(i, j int) bool { return ops[i].ready < ops[j].ready })
+		sort.Slice(ops, func(i, j int) bool {
+			a, b := ops[i], ops[j]
+			if a.ready != b.ready {
+				return a.ready < b.ready
+			}
+			if a.stage != b.stage {
+				return a.stage < b.stage
+			}
+			return a.replica < b.replica
+		})
 
 		var total float64
 		switch cfg.Sync {
