@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench clean
+.PHONY: all build test race lint bench bench-serve clean
 
 all: build lint test
 
@@ -27,5 +27,17 @@ lint:
 bench:
 	$(GO) run ./cmd/chimera-bench -json -out BENCH_sweep.json
 
+# bench-serve starts chimera-serve, drives every endpoint with the
+# closed-loop load generator, and writes BENCH_serve.json (cold/warm
+# latency, throughput, cache hit rates, 429 shedding). The load generator
+# gates itself: plan responses byte-identical to in-process Plan, warm p50
+# ≥ 2× faster than cold, clean shedding under overload.
+bench-serve:
+	$(GO) build -o bin/chimera-serve ./cmd/chimera-serve
+	$(GO) build -o bin/chimera-loadgen ./cmd/chimera-loadgen
+	./bin/chimera-serve -addr 127.0.0.1:8642 -max-inflight 4 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	./bin/chimera-loadgen -addr http://127.0.0.1:8642 -out BENCH_serve.json
+
 clean:
-	rm -f BENCH_sweep.json
+	rm -rf bin

@@ -29,6 +29,7 @@ import (
 	"chimera/internal/perfmodel"
 	"chimera/internal/pipeline"
 	"chimera/internal/schedule"
+	"chimera/internal/serve"
 	"chimera/internal/sim"
 	"chimera/internal/trace"
 )
@@ -152,6 +153,22 @@ func NewEngine(workers int) *Engine {
 // Sweep evaluates every spec concurrently on the shared engine and returns
 // outcomes in input order.
 func Sweep(specs []SweepSpec) []SweepOutcome { return engine.Default().Sweep(specs) }
+
+// HTTP service layer (cmd/chimera-serve, internal/serve): the planner,
+// simulator, schedule analysis and timeline rendering behind an HTTP/JSON
+// API with admission control, bounded caches, and graceful shutdown.
+type (
+	// Server routes the /v1 API onto a shared evaluation engine.
+	Server = serve.Server
+	// ServeConfig configures NewServer: engine pool size, LRU cache
+	// capacity, admission limit, drain timeout.
+	ServeConfig = serve.Config
+)
+
+// NewServer builds the HTTP planning service. Serve it with
+// (*Server).ListenAndServe (graceful shutdown on context cancel) or embed
+// (*Server).Handler in an existing mux.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 
 // Real training runtime.
 type (

@@ -1,0 +1,556 @@
+// chimera-loadgen is the closed-loop load generator for chimera-serve. It
+// drives every endpoint of a running service and emits BENCH_serve.json —
+// the service-layer perf trajectory CI archives alongside BENCH_sweep.json.
+//
+// One run measures, in order:
+//
+//  1. cold vs warm latency — a fixed set of /v1/plan requests is walked
+//     once against the fresh server (cold caches) and then -passes more
+//     times (warm); the p50 ratio is the daemon's amortization win, gated
+//     at -min-warm-speedup (default 2×);
+//  2. endpoint smoke — every endpoint must answer;
+//  3. plan equivalence — served /v1/plan bodies must be byte-identical to
+//     encoding an in-process chimera.Plan through the same codec;
+//  4. closed-loop throughput — -clients workers issue -requests mixed
+//     requests back-to-back (requests/sec, p50/p99);
+//  5. overload — a simultaneous burst far above the server's admission
+//     limit; every reply must be 200 or 429 (clean shedding, no transport
+//     errors), and with -expect-shed at least one 429 must occur.
+//
+// Any gate failure exits non-zero, so CI can call this binary directly.
+// Cold numbers are only meaningful against a freshly started server.
+//
+// Example:
+//
+//	chimera-serve -addr 127.0.0.1:8642 -max-inflight 4 &
+//	chimera-loadgen -addr http://127.0.0.1:8642 -out BENCH_serve.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"chimera"
+	"chimera/internal/serve"
+)
+
+var client = &http.Client{Timeout: 120 * time.Second}
+
+// BenchServe is the machine-readable result (BENCH_serve.json).
+type BenchServe struct {
+	Addr          string      `json:"addr"`
+	EndpointsOK   bool        `json:"endpoints_ok"`
+	PlanCompared  int         `json:"plan_compared"`
+	PlanIdentical bool        `json:"plan_identical"`
+	Cold          LatencySide `json:"cold"`
+	Warm          LatencySide `json:"warm"`
+	// WarmSpeedupP50 is cold p50 over warm p50 — the cache amortization win.
+	WarmSpeedupP50 float64    `json:"warm_speedup_p50"`
+	Throughput     Throughput `json:"throughput"`
+	Overload       Overload   `json:"overload"`
+	// CacheHitRate is the server engine's cumulative hit rate; the plan
+	// response cache is reported separately (both from /v1/stats).
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+}
+
+// LatencySide summarizes one latency measurement pass.
+type LatencySide struct {
+	Requests int     `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+}
+
+// Throughput summarizes the closed-loop phase.
+type Throughput struct {
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	Seconds  float64 `json:"seconds"`
+	RPS      float64 `json:"requests_per_sec"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	Errors   int     `json:"errors"`
+}
+
+// Overload summarizes the admission-control burst.
+type Overload struct {
+	Offered          int  `json:"offered"`
+	Accepted         int  `json:"accepted"`
+	Shed429          int  `json:"shed_429"`
+	TransportErrors  int  `json:"transport_errors"`
+	UnexpectedStatus int  `json:"unexpected_status"`
+	MaxInflight      int  `json:"max_inflight"`
+	Clean            bool `json:"clean"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8642", "base URL of a running chimera-serve")
+	out := flag.String("out", "BENCH_serve.json", `output path ("-" for stdout)`)
+	passes := flag.Int("passes", 3, "warm passes over the latency request set")
+	clients := flag.Int("clients", 4, "closed-loop client goroutines")
+	requests := flag.Int("requests", 200, "total requests in the throughput phase")
+	burst := flag.Int("burst", 0, "overload burst size (0 = max(8×max_inflight, 32))")
+	minWarmSpeedup := flag.Float64("min-warm-speedup", 2.0, "gate: warm p50 must beat cold p50 by this factor (0 disables)")
+	expectShed := flag.Bool("expect-shed", true, "gate: the overload burst must shed at least one request")
+	wait := flag.Duration("wait", 30*time.Second, "how long to wait for /healthz at startup")
+	flag.Parse()
+
+	b, failures := run(*addr, *passes, *clients, *requests, *burst, *minWarmSpeedup, *expectShed, *wait)
+
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *out == "-" {
+		os.Stdout.Write(raw)
+	} else {
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serve benchmark: %d req/s (p50 %.1f ms, p99 %.1f ms), warm plan p50 %.1fx faster than cold, cache hit rate %.0f%%, shed %d/%d under overload, plan identical: %v\n",
+			int(b.Throughput.RPS), b.Throughput.P50Ms, b.Throughput.P99Ms,
+			b.WarmSpeedupP50, 100*b.CacheHitRate, b.Overload.Shed429, b.Overload.Offered, b.PlanIdentical)
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "chimera-loadgen: GATE FAILED:", f)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(addr string, passes, clients, requests, burst int, minWarmSpeedup float64, expectShed bool, wait time.Duration) (*BenchServe, []string) {
+	var failures []string
+	fail := func(format string, args ...any) { failures = append(failures, fmt.Sprintf(format, args...)) }
+
+	if err := waitHealthy(addr, wait); err != nil {
+		fatal(err)
+	}
+	b := &BenchServe{Addr: addr}
+
+	// Phase 1: cold vs warm latency over a fixed plan set. This must run
+	// first — anything else (even the smoke requests) would pre-warm the
+	// engine's schedule and critical-path tables and skew the cold side.
+	lat := latencySet()
+	cold, err := measure(addr, lat)
+	if err != nil {
+		fatal(err)
+	}
+	b.Cold = cold
+	var warmLat []time.Duration
+	for p := 0; p < passes; p++ {
+		w, err := measureDurations(addr, lat)
+		if err != nil {
+			fatal(err)
+		}
+		warmLat = append(warmLat, w...)
+	}
+	b.Warm = summarize(warmLat)
+	if b.Warm.P50Ms > 0 {
+		b.WarmSpeedupP50 = b.Cold.P50Ms / b.Warm.P50Ms
+	}
+	if minWarmSpeedup > 0 && b.WarmSpeedupP50 < minWarmSpeedup {
+		fail("warm p50 speedup %.2fx < %.2fx (cold %.1f ms, warm %.1f ms)",
+			b.WarmSpeedupP50, minWarmSpeedup, b.Cold.P50Ms, b.Warm.P50Ms)
+	}
+
+	// Phase 2: every endpoint answers.
+	b.EndpointsOK = true
+	if err := smoke(addr); err != nil {
+		b.EndpointsOK = false
+		fail("endpoint smoke: %v", err)
+	}
+
+	// Phase 3: served plans must be byte-identical to in-process plans.
+	b.PlanIdentical = true
+	for _, req := range equivalenceSet() {
+		b.PlanCompared++
+		if err := comparePlan(addr, req); err != nil {
+			b.PlanIdentical = false
+			fail("plan equivalence: %v", err)
+		}
+	}
+
+	// Phase 4: closed-loop throughput over a warm mixed workload.
+	b.Throughput = closedLoop(addr, clients, requests)
+	if b.Throughput.RPS <= 0 || b.Throughput.Requests-b.Throughput.Errors == 0 {
+		fail("throughput phase made no successful requests")
+	}
+	if b.Throughput.Errors > 0 {
+		fail("throughput phase: %d errored requests", b.Throughput.Errors)
+	}
+
+	// Phase 5: overload burst — clean 429 shedding.
+	b.Overload = overload(addr, burst)
+	if !b.Overload.Clean {
+		fail("overload not clean: %d transport errors, %d unexpected statuses",
+			b.Overload.TransportErrors, b.Overload.UnexpectedStatus)
+	}
+	if expectShed && b.Overload.Shed429 == 0 {
+		fail("overload burst of %d against max_inflight=%d shed nothing",
+			b.Overload.Offered, b.Overload.MaxInflight)
+	}
+
+	var stats serve.StatsResponse
+	if err := getJSON(addr+"/v1/stats", &stats); err != nil {
+		fatal(err)
+	}
+	b.CacheHitRate = stats.Engine.CacheHitRate
+	if total := stats.PlanCache.Hits + stats.PlanCache.Misses; total > 0 {
+		b.PlanCacheHitRate = float64(stats.PlanCache.Hits) / float64(total)
+	}
+	return b, failures
+}
+
+// latencySet is the cold/warm measurement workload: distinct paper-scale
+// plan problems, so the first walk misses every cache and is dominated by
+// planning work (not HTTP transport).
+func latencySet() []serve.PlanRequest {
+	var out []serve.PlanRequest
+	for _, tc := range []struct {
+		model string
+		p, mb int
+	}{
+		{"gpt2", 512, 2048}, {"gpt2", 256, 1024}, {"gpt2", 1024, 2048},
+		{"bert48", 128, 1024}, {"gpt2-32", 128, 512}, {"bert48-512", 64, 512},
+	} {
+		out = append(out, serve.PlanRequest{
+			Model:     serve.ModelRef{Preset: tc.model},
+			P:         tc.p,
+			MiniBatch: tc.mb,
+			Platform:  serve.PlatformRef{Preset: "pizdaint"},
+		})
+	}
+	return out
+}
+
+// equivalenceSet are the plans compared byte-for-byte against in-process
+// chimera.Plan (disjoint from latencySet so its cold numbers stay clean).
+func equivalenceSet() []serve.PlanRequest {
+	return []serve.PlanRequest{
+		{Model: serve.ModelRef{Preset: "bert48"}, P: 16, MiniBatch: 128, MaxB: 16,
+			Platform: serve.PlatformRef{Preset: "pizdaint"}},
+		{Model: serve.ModelRef{Preset: "gpt2"}, P: 64, MiniBatch: 512,
+			Platform: serve.PlatformRef{Preset: "pizdaint"}},
+		{Model: serve.ModelRef{Preset: "bert48-512"}, P: 16, MiniBatch: 256,
+			Platform: serve.PlatformRef{Preset: "v100"}},
+	}
+}
+
+// comparePlan fetches one served plan and diffs it byte-for-byte against the
+// same request planned in-process and encoded through the same codec.
+func comparePlan(addr string, req serve.PlanRequest) error {
+	status, served, err := postJSON(addr+"/v1/plan", req)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("status %d: %s", status, served)
+	}
+	resolved, err := req.Resolve()
+	if err != nil {
+		return err
+	}
+	preds, err := chimera.Plan(resolved)
+	if err != nil {
+		return err
+	}
+	local, err := json.Marshal(serve.NewPlanResponse(resolved.Model.Name, resolved.P, resolved.MiniBatch, preds))
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(served, local) {
+		return fmt.Errorf("served /v1/plan differs from in-process chimera.Plan for %s P=%d B̂=%d:\nserved: %s\nlocal:  %s",
+			resolved.Model.Name, resolved.P, resolved.MiniBatch, served, local)
+	}
+	return nil
+}
+
+// smoke exercises every endpoint once.
+func smoke(addr string) error {
+	for _, ep := range []string{"/healthz", "/v1/stats", "/v1/schedules"} {
+		var v json.RawMessage
+		if err := getJSON(addr+ep, &v); err != nil {
+			return fmt.Errorf("GET %s: %w", ep, err)
+		}
+	}
+	posts := []struct {
+		path string
+		body any
+	}{
+		{"/v1/plan", serve.PlanRequest{Model: serve.ModelRef{Preset: "bert48"}, P: 8, MiniBatch: 64,
+			Platform: serve.PlatformRef{Preset: "pizdaint"}}},
+		{"/v1/simulate", serve.SimulateRequest{Model: serve.ModelRef{Preset: "bert48"},
+			Schedule: serve.ScheduleRef{Scheme: "chimera", D: 4, N: 4}, MicroBatch: 4, W: 2,
+			AutoRecompute: true, Platform: serve.PlatformRef{Preset: "pizdaint"}}},
+		{"/v1/analyze", serve.AnalyzeRequest{Schedule: serve.ScheduleRef{Scheme: "dapple", D: 4, N: 8}}},
+		{"/v1/render", serve.RenderRequest{Schedule: serve.ScheduleRef{Scheme: "chimera", D: 4, N: 4}, Format: "svg"}},
+	}
+	for _, p := range posts {
+		status, body, err := postJSON(addr+p.path, p.body)
+		if err != nil {
+			return fmt.Errorf("POST %s: %w", p.path, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("POST %s: status %d: %s", p.path, status, body)
+		}
+	}
+	return nil
+}
+
+// measure walks the request set once, sequentially, and summarizes latency.
+func measure(addr string, reqs []serve.PlanRequest) (LatencySide, error) {
+	ds, err := measureDurations(addr, reqs)
+	if err != nil {
+		return LatencySide{}, err
+	}
+	return summarize(ds), nil
+}
+
+func measureDurations(addr string, reqs []serve.PlanRequest) ([]time.Duration, error) {
+	out := make([]time.Duration, 0, len(reqs))
+	for _, req := range reqs {
+		start := time.Now()
+		status, body, err := postJSON(addr+"/v1/plan", req)
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("latency set: status %d: %s", status, body)
+		}
+		out = append(out, time.Since(start))
+	}
+	return out, nil
+}
+
+// closedLoop has `clients` goroutines issue `total` mixed requests
+// back-to-back (each next request starts when the previous reply lands).
+func closedLoop(addr string, clients, total int) Throughput {
+	if clients < 1 {
+		clients = 1
+	}
+	mix := []func() (int, error){
+		func() (int, error) {
+			s, _, err := postJSON(addr+"/v1/plan", latencySet()[0])
+			return s, err
+		},
+		func() (int, error) {
+			s, _, err := postJSON(addr+"/v1/simulate", serve.SimulateRequest{
+				Model:      serve.ModelRef{Preset: "bert48"},
+				Schedule:   serve.ScheduleRef{Scheme: "chimera", D: 4, N: 8},
+				MicroBatch: 4, W: 8, AutoRecompute: true,
+				Platform: serve.PlatformRef{Preset: "pizdaint"}})
+			return s, err
+		},
+		func() (int, error) {
+			s, _, err := postJSON(addr+"/v1/analyze", serve.AnalyzeRequest{
+				Schedule: serve.ScheduleRef{Scheme: "gpipe", D: 4, N: 8}})
+			return s, err
+		},
+		func() (int, error) {
+			s, _, err := postJSON(addr+"/v1/render", serve.RenderRequest{
+				Schedule: serve.ScheduleRef{Scheme: "chimera", D: 4, N: 4}})
+			return s, err
+		},
+		func() (int, error) {
+			var v json.RawMessage
+			err := getJSON(addr+"/v1/schedules", &v)
+			return http.StatusOK, err
+		},
+	}
+	jobs := make(chan int)
+	durs := make([]time.Duration, total)
+	errs := make([]bool, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				t0 := time.Now()
+				status, err := mix[i%len(mix)]()
+				durs[i] = time.Since(t0)
+				if err != nil || status != http.StatusOK {
+					errs[i] = true
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var okDurs []time.Duration
+	nerr := 0
+	for i, d := range durs {
+		if errs[i] {
+			nerr++
+			continue
+		}
+		okDurs = append(okDurs, d)
+	}
+	s := summarize(okDurs)
+	return Throughput{
+		Clients: clients, Requests: total, Seconds: elapsed,
+		RPS: float64(total-nerr) / elapsed, P50Ms: s.P50Ms, P99Ms: s.P99Ms, Errors: nerr,
+	}
+}
+
+// overload fires a simultaneous burst of one heavy, cold plan request far
+// above the server's admission limit and checks shedding is clean.
+func overload(addr string, burst int) Overload {
+	var stats serve.StatsResponse
+	if err := getJSON(addr+"/v1/stats", &stats); err != nil {
+		fatal(err)
+	}
+	if burst <= 0 {
+		burst = 8 * stats.MaxInflight
+		if burst < 32 {
+			burst = 32
+		}
+	}
+	// A fresh heavy problem: admitted requests all compute (single-flight
+	// on the engine), so slots stay held long enough for the burst to
+	// actually contend.
+	heavy := serve.PlanRequest{
+		Model: serve.ModelRef{Preset: "gpt2"}, P: 128, MiniBatch: 1024,
+		Platform: serve.PlatformRef{Preset: "pizdaint"},
+	}
+	o := Overload{Offered: burst, MaxInflight: stats.MaxInflight}
+	statuses := make([]int, burst)
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			status, _, err := postJSON(addr+"/v1/plan", heavy)
+			if err != nil {
+				statuses[i] = -1
+				return
+			}
+			statuses[i] = status
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	for _, st := range statuses {
+		switch st {
+		case http.StatusOK:
+			o.Accepted++
+		case http.StatusTooManyRequests:
+			o.Shed429++
+		case -1:
+			o.TransportErrors++
+		default:
+			o.UnexpectedStatus++
+		}
+	}
+	o.Clean = o.TransportErrors == 0 && o.UnexpectedStatus == 0 && o.Accepted+o.Shed429 == o.Offered
+	return o
+}
+
+func summarize(ds []time.Duration) LatencySide {
+	if len(ds) == 0 {
+		return LatencySide{}
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := func(p float64) float64 {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return LatencySide{
+		Requests: len(ds),
+		P50Ms:    q(0.50),
+		P99Ms:    q(0.99),
+		MeanMs:   float64(sum) / float64(len(ds)) / float64(time.Millisecond),
+	}
+}
+
+func waitHealthy(addr string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		var reason error
+		resp, err := client.Get(addr + "/healthz")
+		if err != nil {
+			reason = err
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			reason = fmt.Errorf("/healthz answered status %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %s: %v", addr, wait, reason)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func postJSON(url string, v any) (int, []byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(url, "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chimera-loadgen:", err)
+	os.Exit(1)
+}

@@ -1,49 +1,48 @@
 // chimera-plan runs the §3.4 performance model to select the best (W, D, B)
-// Chimera configuration for a worker count and mini-batch size.
+// Chimera configuration for a worker count and mini-batch size. With -json
+// it emits the same wire shape chimera-serve's /v1/plan serves (one
+// serialization path, internal/serve's codecs).
 //
 // Example:
 //
 //	chimera-plan -model bert48 -p 32 -bhat 512
+//	chimera-plan -model bert48 -p 32 -bhat 512 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"chimera/internal/engine"
-	"chimera/internal/model"
 	"chimera/internal/perfmodel"
-	"chimera/internal/sim"
+	"chimera/internal/serve"
 )
 
 func main() {
-	modelName := flag.String("model", "bert48", "model: bert48|gpt2|gpt2-32")
+	modelName := flag.String("model", "bert48", "model: bert48|bert48-512|gpt2|gpt2-32")
 	p := flag.Int("p", 32, "total workers P = W·D")
 	bhat := flag.Int("bhat", 512, "mini-batch size B̂")
 	maxB := flag.Int("maxb", 64, "micro-batch search ceiling")
 	platform := flag.String("platform", "pizdaint", "platform: pizdaint|v100")
 	workers := flag.Int("workers", 0, "planner worker-pool size (0 = GOMAXPROCS, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "emit the /v1/plan wire format instead of the table")
 	flag.Parse()
 
-	var m model.Config
-	switch *modelName {
-	case "bert48":
-		m = model.BERT48()
-	case "gpt2":
-		m = model.GPT2()
-	case "gpt2-32":
-		m = model.GPT2Small32()
-	default:
-		fmt.Fprintf(os.Stderr, "chimera-plan: unknown model %q\n", *modelName)
+	m, err := serve.ResolveModel(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chimera-plan:", err)
+		os.Exit(1)
+	}
+	dev, net, err := serve.ResolvePlatform(*platform)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chimera-plan:", err)
 		os.Exit(1)
 	}
 	req := perfmodel.PlanRequest{
 		Model: m, P: *p, MiniBatch: *bhat, MaxB: *maxB,
-		Device: sim.PizDaintNode(), Network: sim.AriesNetwork(),
-	}
-	if *platform == "v100" {
-		req.Device, req.Network = sim.V100Node(), sim.NVLinkIBNetwork()
+		Device: dev, Network: net,
 	}
 	eng := engine.Default()
 	if *workers > 0 {
@@ -53,6 +52,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chimera-plan:", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		raw, err := json.MarshalIndent(serve.NewPlanResponse(m.Name, *p, *bhat, preds), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chimera-plan:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+		return
 	}
 	fmt.Printf("%s on %d workers, B̂=%d — Chimera configurations ranked by Eq. 1:\n", m.Name, *p, *bhat)
 	fmt.Printf("%-4s %-4s %-4s %-4s %-10s %-12s %-12s %s\n", "W", "D", "B", "N", "recompute", "iter (s)", "seq/s", "critical path")

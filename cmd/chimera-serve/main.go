@@ -1,0 +1,59 @@
+// chimera-serve is the long-running planning service: it exposes the §3.4
+// planner, the cluster simulator, schedule analysis and timeline rendering
+// over HTTP/JSON, amortizing the shared engine's memoized schedules and
+// evaluations across every request instead of each process paying
+// cold-cache sweep costs.
+//
+// Endpoints: POST /v1/plan, /v1/simulate, /v1/analyze, /v1/render;
+// GET /v1/schedules, /v1/stats, /healthz. Heavy endpoints pass admission
+// control: beyond -max-inflight concurrent requests the server sheds with
+// 429 instead of queueing. SIGINT/SIGTERM drain in-flight work before exit.
+//
+// Example:
+//
+//	chimera-serve -addr 127.0.0.1:8642 -cache-capacity 4096 &
+//	curl -s http://127.0.0.1:8642/v1/plan -d \
+//	  '{"model":{"preset":"bert48"},"p":32,"mini_batch":512,"platform":{"preset":"pizdaint"}}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chimera/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8642", "listen address")
+	workers := flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	capacity := flag.Int("cache-capacity", 4096, "per-table engine cache bound with LRU eviction (0 = unbounded)")
+	maxInflight := flag.Int("max-inflight", 0, "admission limit on concurrent heavy requests (0 = 4×GOMAXPROCS)")
+	drain := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown wait for in-flight requests")
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:       *workers,
+		CacheCapacity: *capacity,
+		MaxInflight:   *maxInflight,
+		DrainTimeout:  *drain,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("chimera-serve: listening on %s (engine workers=%d, cache capacity=%d, max inflight=%d)",
+		*addr, s.Engine().WorkerCount(), *capacity, s.MaxInflight())
+	if err := s.ListenAndServe(ctx, *addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "chimera-serve:", err)
+		os.Exit(1)
+	}
+	log.Printf("chimera-serve: drained and stopped")
+}

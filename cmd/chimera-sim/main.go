@@ -1,25 +1,28 @@
 // chimera-sim simulates one training iteration of a pipeline scheme on a
 // calibrated cluster and prints throughput, bubble ratio and per-worker
-// memory.
+// memory. With -json it emits the same wire shape chimera-serve's
+// /v1/simulate serves (one serialization path, internal/serve's codecs).
 //
 // Example:
 //
 //	chimera-sim -scheme chimera -model gpt2 -d 32 -w 64 -b 1 -bhat 2048
+//	chimera-sim -scheme chimera -model bert48 -d 4 -w 8 -b 8 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"chimera/internal/model"
 	"chimera/internal/schedule"
+	"chimera/internal/serve"
 	"chimera/internal/sim"
 )
 
 func main() {
 	scheme := flag.String("scheme", "chimera", "pipeline scheme: chimera|gpipe|dapple|gems|pipedream|pipedream-2bw|1f1b")
-	modelName := flag.String("model", "bert48", "model: bert48|gpt2|gpt2-32")
+	modelName := flag.String("model", "bert48", "model: bert48|bert48-512|gpt2|gpt2-32")
 	d := flag.Int("d", 4, "pipeline stages D")
 	w := flag.Int("w", 8, "data-parallel width W")
 	b := flag.Int("b", 8, "micro-batch size B")
@@ -29,9 +32,10 @@ func main() {
 	platform := flag.String("platform", "pizdaint", "platform: pizdaint|v100")
 	recompute := flag.Bool("recompute", false, "force activation recomputation")
 	auto := flag.Bool("auto", true, "enable recomputation automatically when memory requires it")
+	jsonOut := flag.Bool("json", false, "emit the /v1/simulate wire format instead of the report")
 	flag.Parse()
 
-	m, err := pickModel(*modelName)
+	m, err := serve.ResolveModel(*modelName)
 	check(err)
 	if *bhat%(*w**b) != 0 {
 		check(fmt.Errorf("B̂=%d not divisible by W·B=%d", *bhat, *w**b))
@@ -52,12 +56,9 @@ func main() {
 	}
 	check(err)
 
-	cfg := sim.Config{Model: m, Schedule: s, MicroBatch: *b, W: *w, Recompute: *recompute}
-	if *platform == "v100" {
-		cfg.Device, cfg.Network = sim.V100Node(), sim.NVLinkIBNetwork()
-	} else {
-		cfg.Device, cfg.Network = sim.PizDaintNode(), sim.AriesNetwork()
-	}
+	dev, net, err := serve.ResolvePlatform(*platform)
+	check(err)
+	cfg := sim.Config{Model: m, Schedule: s, MicroBatch: *b, W: *w, Recompute: *recompute, Device: dev, Network: net}
 	var res *sim.Result
 	usedRecompute := *recompute
 	if *auto && !*recompute {
@@ -67,6 +68,15 @@ func main() {
 	}
 	check(err)
 
+	if *jsonOut {
+		raw, err := json.MarshalIndent(serve.NewSimulateResponse(res, usedRecompute), "", "  ")
+		check(err)
+		fmt.Println(string(raw))
+		if res.OOM {
+			os.Exit(2)
+		}
+		return
+	}
 	fmt.Printf("%s %s: D=%d W=%d B=%d N=%d (B̂=%d) recompute=%v\n",
 		*scheme, m.Name, *d, *w, *b, n, res.MiniBatch, usedRecompute)
 	fmt.Printf("iteration time : %.4f s\n", res.IterTime)
@@ -84,21 +94,6 @@ func main() {
 	if res.OOM {
 		fmt.Println("configuration exceeds device memory")
 		os.Exit(2)
-	}
-}
-
-func pickModel(name string) (model.Config, error) {
-	switch name {
-	case "bert48":
-		return model.BERT48(), nil
-	case "bert48-512":
-		return model.BERT48Seq512(), nil
-	case "gpt2":
-		return model.GPT2(), nil
-	case "gpt2-32":
-		return model.GPT2Small32(), nil
-	default:
-		return model.Config{}, fmt.Errorf("unknown model %q", name)
 	}
 }
 

@@ -137,6 +137,13 @@ type Stats struct {
 	ScheduleHits, ScheduleMisses uint64
 	CriticalHits, CriticalMisses uint64
 	OutcomeHits, OutcomeMisses   uint64
+	// Evictions count entries dropped by the bounded-capacity LRU mode;
+	// always zero on a default (unbounded) engine.
+	ScheduleEvictions, CriticalEvictions, OutcomeEvictions uint64
+	// Entries are the resident key counts at snapshot time.
+	ScheduleEntries, CriticalEntries, OutcomeEntries int
+	// Capacity is the per-table entry bound (0 = unbounded).
+	Capacity int
 }
 
 // HitRate returns the fraction of all cache lookups that were hits.
@@ -152,7 +159,8 @@ func (s Stats) HitRate() float64 {
 // Engine owns a worker pool and the memoization tables. The zero value is
 // not usable; construct with New or use the process-wide Default engine.
 type Engine struct {
-	workers int
+	workers  int
+	capacity int
 	// sem bounds in-flight ForEach bodies engine-wide, so Workers(n) holds
 	// even when many goroutines share one engine (the Default engine's
 	// normal situation), not just per call.
@@ -193,6 +201,19 @@ func NoCache() Option {
 	}
 }
 
+// Capacity bounds each memoization table to n entries with LRU eviction.
+// The default (0) keeps the unbounded retention that batch sweeps rely on
+// for bit-identical repeat walks; a long-running daemon (chimera-serve)
+// opts in so an endless stream of distinct requests cannot grow memory
+// without limit. Evictions are reported through Stats.
+func Capacity(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.capacity = n
+		}
+	}
+}
+
 // New builds an engine with a GOMAXPROCS-sized pool and empty caches.
 func New(opts ...Option) *Engine {
 	e := &Engine{
@@ -203,6 +224,11 @@ func New(opts ...Option) *Engine {
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.capacity > 0 && e.schedules != nil {
+		e.schedules = NewMemoCap[ScheduleKey, schedOutcome](e.capacity)
+		e.criticals = NewMemoCap[ScheduleKey, critOutcome](e.capacity)
+		e.outcomes = NewMemoCap[Spec, Outcome](e.capacity)
 	}
 	e.sem = make(chan struct{}, e.workers)
 	return e
@@ -299,6 +325,13 @@ func (e *Engine) Stats() Stats {
 	st.ScheduleHits, st.ScheduleMisses = e.schedules.Stats()
 	st.CriticalHits, st.CriticalMisses = e.criticals.Stats()
 	st.OutcomeHits, st.OutcomeMisses = e.outcomes.Stats()
+	st.ScheduleEvictions = e.schedules.Evictions()
+	st.CriticalEvictions = e.criticals.Evictions()
+	st.OutcomeEvictions = e.outcomes.Evictions()
+	st.ScheduleEntries = e.schedules.Len()
+	st.CriticalEntries = e.criticals.Len()
+	st.OutcomeEntries = e.outcomes.Len()
+	st.Capacity = e.capacity
 	return st
 }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/list"
 	"sync"
 	"sync/atomic"
 )
@@ -11,22 +12,52 @@ import (
 // computation finishes and then share its value. Values must be treated as
 // immutable by callers — they are handed out to every requester.
 //
+// By default the table retains every entry forever — the right policy for
+// batch sweeps, where reuse is the point and the key population is bounded
+// by the grid. NewMemoCap instead bounds the table to a fixed capacity with
+// least-recently-used eviction, the policy a long-running daemon needs so an
+// unbounded stream of distinct requests cannot grow memory without limit.
+// Eviction drops an entry from the table only: goroutines already holding
+// the entry still complete (or reuse) its single computation and share its
+// value; the next request for the evicted key simply recomputes.
+//
 // A nil *Memo is valid and disables caching (every Do call computes).
 type Memo[K comparable, V any] struct {
-	mu      sync.Mutex
-	entries map[K]*memoEntry[V]
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	mu       sync.Mutex
+	capacity int // 0 = unbounded
+	entries  map[K]*memoEntry[V]
+	// order is the LRU list (front = most recently used); element values
+	// are keys. Maintained only when capacity > 0.
+	order     *list.List
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 type memoEntry[V any] struct {
 	once sync.Once
 	v    V
+	// elem is the entry's position in the LRU order; nil when the table is
+	// unbounded or the entry has been evicted. Guarded by Memo.mu.
+	elem *list.Element
 }
 
-// NewMemo returns an empty memoization table.
+// NewMemo returns an empty, unbounded memoization table.
 func NewMemo[K comparable, V any]() *Memo[K, V] {
-	return &Memo[K, V]{entries: make(map[K]*memoEntry[V])}
+	return NewMemoCap[K, V](0)
+}
+
+// NewMemoCap returns an empty memoization table bounded to capacity entries
+// with LRU eviction; capacity <= 0 means unbounded (same as NewMemo).
+func NewMemoCap[K comparable, V any](capacity int) *Memo[K, V] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Memo[K, V]{
+		capacity: capacity,
+		entries:  make(map[K]*memoEntry[V]),
+		order:    list.New(),
+	}
 }
 
 // Do returns the memoized value for key, computing it with fn on first use.
@@ -36,9 +67,26 @@ func (m *Memo[K, V]) Do(key K, fn func() V) V {
 	}
 	m.mu.Lock()
 	e, ok := m.entries[key]
-	if !ok {
+	if ok {
+		if e.elem != nil {
+			m.order.MoveToFront(e.elem)
+		}
+	} else {
 		e = &memoEntry[V]{}
 		m.entries[key] = e
+		if m.capacity > 0 {
+			e.elem = m.order.PushFront(key)
+			// The new entry sits at the front, so with capacity ≥ 1 it is
+			// never its own victim.
+			for len(m.entries) > m.capacity {
+				back := m.order.Back()
+				victim := back.Value.(K)
+				m.order.Remove(back)
+				m.entries[victim].elem = nil
+				delete(m.entries, victim)
+				m.evictions.Add(1)
+			}
+		}
 	}
 	m.mu.Unlock()
 	if ok {
@@ -60,6 +108,23 @@ func (m *Memo[K, V]) Stats() (hits, misses uint64) {
 	return m.hits.Load(), m.misses.Load()
 }
 
+// Evictions returns how many entries the LRU bound has dropped (always zero
+// for an unbounded table).
+func (m *Memo[K, V]) Evictions() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.evictions.Load()
+}
+
+// Capacity returns the configured entry bound (0 = unbounded).
+func (m *Memo[K, V]) Capacity() int {
+	if m == nil {
+		return 0
+	}
+	return m.capacity
+}
+
 // Len returns the number of distinct keys computed or in flight.
 func (m *Memo[K, V]) Len() int {
 	if m == nil {
@@ -77,7 +142,9 @@ func (m *Memo[K, V]) Reset() {
 	}
 	m.mu.Lock()
 	m.entries = make(map[K]*memoEntry[V])
+	m.order = list.New()
 	m.mu.Unlock()
 	m.hits.Store(0)
 	m.misses.Store(0)
+	m.evictions.Store(0)
 }

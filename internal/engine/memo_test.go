@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chimera/internal/model"
+)
+
+// TestMemoCapEvictsLRU: a bounded table holds at most capacity entries and
+// drops the least recently used key first.
+func TestMemoCapEvictsLRU(t *testing.T) {
+	m := NewMemoCap[int, int](2)
+	calls := 0
+	get := func(k int) int { return m.Do(k, func() int { calls++; return 10 * k }) }
+
+	get(1)
+	get(2)
+	get(1) // touch 1 so 2 becomes the LRU victim
+	get(3) // evicts 2
+	if n := m.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	if ev := m.Evictions(); ev != 1 {
+		t.Fatalf("Evictions = %d, want 1", ev)
+	}
+	before := calls
+	get(1) // still resident — no recompute
+	if calls != before {
+		t.Fatal("recently-used key was evicted")
+	}
+	get(2) // evicted — must recompute
+	if calls != before+1 {
+		t.Fatal("evicted key was not recomputed")
+	}
+	if v := get(2); v != 20 {
+		t.Fatalf("recomputed value = %d, want 20", v)
+	}
+}
+
+// TestMemoCapUnboundedByDefault: NewMemo and NewMemoCap(0) never evict.
+func TestMemoCapUnboundedByDefault(t *testing.T) {
+	for _, m := range []*Memo[int, int]{NewMemo[int, int](), NewMemoCap[int, int](0)} {
+		for k := 0; k < 1000; k++ {
+			m.Do(k, func() int { return k })
+		}
+		if n := m.Len(); n != 1000 {
+			t.Fatalf("unbounded table Len = %d, want 1000", n)
+		}
+		if ev := m.Evictions(); ev != 0 {
+			t.Fatalf("unbounded table evicted %d entries", ev)
+		}
+		if c := m.Capacity(); c != 0 {
+			t.Fatalf("Capacity = %d, want 0", c)
+		}
+	}
+}
+
+// TestMemoCapSingleFlightUnderEviction: goroutines that joined an in-flight
+// computation before its entry was evicted still share that one computation's
+// value; a requester arriving after the eviction recomputes. No call may ever
+// observe a zero (unset) value.
+func TestMemoCapSingleFlightUnderEviction(t *testing.T) {
+	m := NewMemoCap[int, int](1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var computes atomic.Int32
+
+	var wg sync.WaitGroup
+	const waiters = 8
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = m.Do(0, func() int {
+				computes.Add(1)
+				close(started)
+				<-release
+				return 42
+			})
+		}(i)
+	}
+	<-started
+	// Wait until every other waiter has joined the in-flight entry: each
+	// join is recorded as a hit before the waiter blocks on the entry's
+	// once, so hits == waiters-1 means all of them hold the original entry.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if h, _ := m.Stats(); h == waiters-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never joined the in-flight entry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Evict key 0 while its computation is still in flight: inserting two
+	// other keys into a capacity-1 table forces it out.
+	m.Do(1, func() int { return 1 })
+	m.Do(2, func() int { return 2 })
+	close(release)
+	wg.Wait()
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d, want 42 (single-flight broken by eviction)", i, v)
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("in-flight computation ran %d times, want 1", got)
+	}
+	// Post-eviction requester recomputes and gets the fresh value.
+	v := m.Do(0, func() int { computes.Add(1); return 43 })
+	if v != 43 {
+		t.Fatalf("post-eviction Do = %d, want recomputed 43", v)
+	}
+	if got := computes.Load(); got != 2 {
+		t.Fatalf("post-eviction compute count = %d, want 2", got)
+	}
+}
+
+// TestMemoCapRaceStress: hammer a small bounded table from many goroutines
+// with overlapping keys under -race; every returned value must match its key.
+func TestMemoCapRaceStress(t *testing.T) {
+	m := NewMemoCap[int, int](4)
+	const (
+		goroutines = 16
+		iters      = 500
+		keys       = 16
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (g + i) % keys
+				if v := m.Do(k, func() int { return 100 + k }); v != 100+k {
+					panic(fmt.Sprintf("key %d returned %d", k, v))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := m.Len(); n > 4 {
+		t.Fatalf("capacity 4 table holds %d entries", n)
+	}
+	hits, misses := m.Stats()
+	if hits+misses != goroutines*iters {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, goroutines*iters)
+	}
+	if m.Evictions() == 0 {
+		t.Fatal("stress with 16 keys over capacity 4 evicted nothing")
+	}
+	m.Reset()
+	if m.Len() != 0 || m.Evictions() != 0 {
+		t.Fatal("Reset did not clear the bounded table")
+	}
+}
+
+// TestEngineCapacityOption: a capacity-bounded engine evaluates correctly,
+// reports evictions through Stats, and stays within its entry bound, while
+// the default engine reports Capacity 0.
+func TestEngineCapacityOption(t *testing.T) {
+	bounded := New(Workers(2), Capacity(8))
+	specs := testGrid(model.BERT48(), 16, 128, []int{2, 4, 8}, []int{1, 2, 4, 8})
+	if len(specs) < 16 {
+		t.Fatalf("grid too small: %d", len(specs))
+	}
+	want := New(Workers(1), NoCache()).Sweep(specs)
+	got := bounded.Sweep(specs)
+	requireEqualOutcomes(t, want, got)
+
+	st := bounded.Stats()
+	if st.Capacity != 8 {
+		t.Fatalf("Stats.Capacity = %d, want 8", st.Capacity)
+	}
+	if st.OutcomeEntries > 8 {
+		t.Fatalf("outcome entries %d exceed capacity 8", st.OutcomeEntries)
+	}
+	if st.OutcomeEvictions == 0 {
+		t.Fatalf("sweeping %d specs through capacity 8 evicted nothing", len(specs))
+	}
+	if def := New().Stats(); def.Capacity != 0 {
+		t.Fatalf("default engine Capacity = %d, want 0", def.Capacity)
+	}
+}

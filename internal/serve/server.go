@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"chimera/internal/engine"
+	"chimera/internal/perfmodel"
+	"chimera/internal/schedule"
+	"chimera/internal/trace"
+)
+
+// Config configures New.
+type Config struct {
+	// Workers sizes the engine's worker pool (0 = GOMAXPROCS).
+	Workers int
+	// CacheCapacity bounds each engine memo table with LRU eviction
+	// (0 = unbounded). A daemon should set this: it runs forever, so the
+	// batch default of never evicting would grow without limit.
+	CacheCapacity int
+	// MaxInflight bounds concurrently executing heavy requests (plan,
+	// simulate, analyze, render); excess requests are shed with 429 so a
+	// traffic spike degrades gracefully instead of exhausting memory.
+	// 0 selects 4×GOMAXPROCS.
+	MaxInflight int
+	// DrainTimeout bounds graceful shutdown's wait for in-flight requests
+	// (0 = 15s).
+	DrainTimeout time.Duration
+	// Engine, when non-nil, supplies a caller-owned engine and overrides
+	// Workers/CacheCapacity (used by tests and embedders that want to
+	// share the process-wide Default engine).
+	Engine *engine.Engine
+}
+
+// Server routes the HTTP/JSON API onto a shared evaluation engine. Build
+// with New; the zero value is not usable.
+type Server struct {
+	eng          *engine.Engine
+	mux          *http.ServeMux
+	inflight     chan struct{}
+	maxInflight  int
+	drainTimeout time.Duration
+
+	// planCache memoizes encoded /v1/plan responses keyed by the resolved
+	// (value-type) plan request. The engine memoizes schedule construction
+	// and critical paths, but PlanOn re-runs its Eq. 1 replays per call;
+	// for a daemon the whole response is the natural memoization unit —
+	// a warm plan is one lookup plus one write. Single-flight, and bounded
+	// by the same CacheCapacity as the engine tables.
+	planCache *engine.Memo[perfmodel.PlanRequest, planOutcome]
+
+	plan, simulate, analyze, schedules, render, health, stats atomic.Uint64
+	shed, clientErrors, serverErrors                          atomic.Uint64
+}
+
+// planOutcome is one cached plan: exactly one of body and err is set.
+type planOutcome struct {
+	body []byte
+	err  error
+}
+
+// New builds a Server and its engine.
+func New(cfg Config) *Server {
+	eng := cfg.Engine
+	if eng == nil {
+		var opts []engine.Option
+		if cfg.Workers > 0 {
+			opts = append(opts, engine.Workers(cfg.Workers))
+		}
+		if cfg.CacheCapacity > 0 {
+			opts = append(opts, engine.Capacity(cfg.CacheCapacity))
+		}
+		eng = engine.New(opts...)
+	}
+	maxInflight := cfg.MaxInflight
+	if maxInflight <= 0 {
+		maxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	drain := cfg.DrainTimeout
+	if drain <= 0 {
+		drain = 15 * time.Second
+	}
+	s := &Server{
+		eng:          eng,
+		inflight:     make(chan struct{}, maxInflight),
+		maxInflight:  maxInflight,
+		drainTimeout: drain,
+		planCache:    engine.NewMemoCap[perfmodel.PlanRequest, planOutcome](cfg.CacheCapacity),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", s.admitted(s.handlePlan))
+	mux.HandleFunc("POST /v1/simulate", s.admitted(s.handleSimulate))
+	mux.HandleFunc("POST /v1/analyze", s.admitted(s.handleAnalyze))
+	mux.HandleFunc("POST /v1/render", s.admitted(s.handleRender))
+	mux.HandleFunc("GET /v1/schedules", s.handleSchedules)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler (for embedding and tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the server's evaluation engine.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// MaxInflight reports the admission-control bound.
+func (s *Server) MaxInflight() int { return s.maxInflight }
+
+// ListenAndServe serves on addr until ctx is cancelled, then drains
+// in-flight requests (bounded by DrainTimeout) before returning.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe on a caller-supplied listener (tests use a
+// pre-bound port). It always closes the listener.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler: s.mux,
+		// Bound connection-level resource use: a client cannot hold a
+		// connection open unboundedly while trickling headers, and idle
+		// keep-alive connections are reaped.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.drainTimeout)
+		defer cancel()
+		return hs.Shutdown(drainCtx)
+	}
+}
+
+// maxBodyBytes caps request bodies; every valid request is far smaller, and
+// without it one client could buffer gigabytes into a decode while holding
+// an admission slot.
+const maxBodyBytes = 1 << 20
+
+// admitted wraps a heavy handler with admission control: a request either
+// takes one of MaxInflight slots immediately or is shed with 429 — it never
+// queues, so offered load beyond the bound cannot pile up work or memory.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+			h(w, r)
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "server at capacity, retry later"})
+		}
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		s.serverErrors.Add(1)
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(raw)
+}
+
+// badRequest replies 400 with the validation error.
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.clientErrors.Add(1)
+	s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+}
+
+// unprocessable replies 422: the request was well-formed but has no
+// feasible/constructible answer (e.g. no configuration fits memory).
+func (s *Server) unprocessable(w http.ResponseWriter, err error) {
+	s.clientErrors.Add(1)
+	s.writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.plan.Add(1)
+	var req PlanRequest
+	if err := DecodeStrict(r.Body, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	preq, err := req.Resolve()
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	out := s.planCache.Do(preq, func() planOutcome {
+		preds, err := perfmodel.PlanOn(s.eng, preq)
+		if err != nil {
+			return planOutcome{err: err}
+		}
+		raw, err := json.Marshal(NewPlanResponse(preq.Model.Name, preq.P, preq.MiniBatch, preds))
+		if err != nil {
+			return planOutcome{err: err}
+		}
+		return planOutcome{body: raw}
+	})
+	if out.err != nil {
+		s.unprocessable(w, out.err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(out.body)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.simulate.Add(1)
+	var req SimulateRequest
+	if err := DecodeStrict(r.Body, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	out := s.eng.Evaluate(spec)
+	if out.Err != nil {
+		s.unprocessable(w, out.Err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, NewSimulateResponse(out.Result, out.Recompute))
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.analyze.Add(1)
+	var req AnalyzeRequest
+	if err := DecodeStrict(r.Body, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	key, err := req.Schedule.Key()
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	sched, err := s.eng.Schedule(key)
+	if err != nil {
+		s.unprocessable(w, err)
+		return
+	}
+	a, err := schedule.Analyze(sched)
+	if err != nil {
+		s.unprocessable(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, NewAnalyzeResponse(a))
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	s.render.Add(1)
+	var req RenderRequest
+	if err := DecodeStrict(r.Body, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	key, err := req.Schedule.Key()
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	cm, err := req.CostModel()
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	format := req.Format
+	if format == "" {
+		format = "ascii"
+	}
+	switch format {
+	case "ascii", "svg", "chrome":
+	default:
+		s.badRequest(w, errUnknownFormat(format))
+		return
+	}
+	sched, err := s.eng.Schedule(key)
+	if err != nil {
+		s.unprocessable(w, err)
+		return
+	}
+	var content string
+	switch format {
+	case "ascii":
+		content, err = trace.ASCII(sched, cm)
+	case "svg":
+		content, err = trace.SVG(sched, cm)
+	case "chrome":
+		var raw []byte
+		raw, err = trace.ChromeTrace(sched, cm)
+		content = string(raw)
+	}
+	if err != nil {
+		s.unprocessable(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, RenderResponse{Format: format, Content: content})
+}
+
+func (s *Server) handleSchedules(w http.ResponseWriter, r *http.Request) {
+	s.schedules.Add(1)
+	s.writeJSON(w, http.StatusOK, SchedulesResponse{
+		Schemes:     Schemes(),
+		ConcatModes: ConcatModes(),
+		Models:      ModelPresets(),
+		Platforms:   PlatformPresets(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.stats.Add(1)
+	s.writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.health.Add(1)
+	s.writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// Snapshot returns the current service counters (what /v1/stats serves).
+func (s *Server) Snapshot() StatsResponse {
+	return StatsResponse{
+		Requests: RequestCounts{
+			Plan: s.plan.Load(), Simulate: s.simulate.Load(),
+			Analyze: s.analyze.Load(), Schedules: s.schedules.Load(),
+			Render: s.render.Load(), Health: s.health.Load(), Stats: s.stats.Load(),
+		},
+		Shed:         s.shed.Load(),
+		ClientErrors: s.clientErrors.Load(),
+		ServerErrors: s.serverErrors.Load(),
+		MaxInflight:  s.maxInflight,
+		PlanCache:    planCacheStats(s.planCache),
+		Engine:       NewEngineStats(s.eng.WorkerCount(), s.eng.Stats()),
+	}
+}
+
+func planCacheStats(m *engine.Memo[perfmodel.PlanRequest, planOutcome]) CacheTableJSON {
+	hits, misses := m.Stats()
+	return CacheTableJSON{Hits: hits, Misses: misses, Evictions: m.Evictions(), Entries: m.Len()}
+}
+
+type errUnknownFormat string
+
+func (e errUnknownFormat) Error() string {
+	return "render: unknown format \"" + string(e) + "\" (have ascii, svg, chrome)"
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chimera/internal/schedule"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the SVG golden files from current output")
+
+// goldenSVG compares one rendered schedule against its committed golden
+// file; -update regenerates the files after an intentional renderer change.
+func goldenSVG(t *testing.T, name string, s *schedule.Schedule, cm schedule.CostModel) string {
+	t.Helper()
+	got, err := SVG(s, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/trace -update` once): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("SVG output drifted from golden %s.\nIf the change is intentional, regenerate with -update.\ngot:\n%s", path, got)
+	}
+	return got
+}
+
+// TestSVGGoldenChimeraD4: the D=4, N=4 bidirectional schedule under both
+// unit-cost models, byte-for-byte.
+func TestSVGGoldenChimeraD4(t *testing.T) {
+	s, err := schedule.Chimera(schedule.ChimeraConfig{D: 4, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenSVG(t, "chimera_d4n4_equal.svg", s, schedule.UnitEqual)
+	goldenSVG(t, "chimera_d4n4_practical.svg", s, schedule.UnitPractical)
+}
+
+// TestSVGGoldenGPipeD4: a baseline (single-replica) schedule golden.
+func TestSVGGoldenGPipeD4(t *testing.T) {
+	s, err := schedule.GPipe(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenSVG(t, "gpipe_d4n4_equal.svg", s, schedule.UnitEqual)
+}
+
+// TestSVGStructure: structural invariants that hold for any renderer
+// refactor — one background row plus one rect per op, backwards darker,
+// every worker labelled, header carries the makespan.
+func TestSVGStructure(t *testing.T) {
+	s, err := schedule.Chimera(schedule.ChimeraConfig{D: 4, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := SVG(s, schedule.UnitPractical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := 0
+	for w := 0; w < s.D; w++ {
+		ops += len(s.Workers[w])
+	}
+	if got, want := strings.Count(out, "<rect "), ops+s.D; got != want {
+		t.Fatalf("%d rects for %d ops + %d row backgrounds", got, ops, s.D)
+	}
+	for w := 0; w < s.D; w++ {
+		if !strings.Contains(out, fmt.Sprintf(">P%d</text>", w)) {
+			t.Fatalf("missing worker label P%d", w)
+		}
+	}
+	tl, err := s.Replay(schedule.UnitPractical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, fmt.Sprintf("makespan %d", tl.Makespan)) {
+		t.Fatal("header does not state the makespan")
+	}
+	// Backward ops use the darker palette entry of replica 0 (down).
+	if !strings.Contains(out, `fill="#2171b5"`) || !strings.Contains(out, `fill="#6baed6"`) {
+		t.Fatal("missing forward/backward palette colors for the down pipeline")
+	}
+	// Up-pipeline replica colors must appear too (bidirectional schedule).
+	if !strings.Contains(out, `fill="#fc9272"`) || !strings.Contains(out, `fill="#cb181d"`) {
+		t.Fatal("missing forward/backward palette colors for the up pipeline")
+	}
+	if !strings.HasPrefix(out, "<svg xmlns=") || !strings.HasSuffix(out, "</svg>\n") {
+		t.Fatal("not a well-formed standalone SVG document")
+	}
+}
