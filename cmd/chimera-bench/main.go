@@ -68,6 +68,10 @@ func runSweepBench(out string, passes int) error {
 	fmt.Printf("sweep benchmark: %d configs × %d passes — serial %.1f configs/s, parallel %.1f configs/s (%.2fx, %d workers, cache hit rate %.0f%%), identical ranking: %v\n",
 		b.Configs, b.Passes, b.Serial.ConfigsPerSec, b.Parallel.ConfigsPerSec,
 		b.Speedup, b.Parallel.Workers, 100*b.Parallel.CacheHitRate, b.IdenticalRanking)
+	if b.Replay != nil {
+		fmt.Printf("replay benchmark: graph pass vs map interpreter, min D=16 speedup %.1fx over %d cases\n",
+			b.Replay.MinSpeedupD16, len(b.Replay.Cases))
+	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
 }

@@ -295,6 +295,12 @@ func smoke(addr string) error {
 		{"/v1/simulate", serve.SimulateRequest{Model: serve.ModelRef{Preset: "bert48"},
 			Schedule: serve.ScheduleRef{Scheme: "chimera", D: 4, N: 4}, MicroBatch: 4, W: 2,
 			AutoRecompute: true, Platform: serve.PlatformRef{Preset: "pizdaint"}}},
+		// Heterogeneous-cluster path: one 1.5× straggler through the
+		// per-worker speed-factor field.
+		{"/v1/simulate", serve.SimulateRequest{Model: serve.ModelRef{Preset: "bert48"},
+			Schedule: serve.ScheduleRef{Scheme: "chimera", D: 4, N: 4}, MicroBatch: 4, W: 2,
+			AutoRecompute: true, SpeedFactors: []float64{1, 1, 1.5, 1},
+			Platform: serve.PlatformRef{Preset: "pizdaint"}}},
 		{"/v1/analyze", serve.AnalyzeRequest{Schedule: serve.ScheduleRef{Scheme: "dapple", D: 4, N: 8}}},
 		{"/v1/render", serve.RenderRequest{Schedule: serve.ScheduleRef{Scheme: "chimera", D: 4, N: 4}, Format: "svg"}},
 	}
@@ -425,12 +431,16 @@ func overload(addr string, burst int) Overload {
 			burst = 32
 		}
 	}
-	// A fresh heavy problem: admitted requests all compute (single-flight
-	// on the engine), so slots stay held long enough for the burst to
-	// actually contend.
-	heavy := serve.PlanRequest{
-		Model: serve.ModelRef{Preset: "gpt2"}, P: 128, MiniBatch: 1024,
-		Platform: serve.PlatformRef{Preset: "pizdaint"},
+	// Fresh heavy problems, one DISTINCT plan key per request (the inline
+	// model name is part of the key): every admitted request computes in
+	// full instead of joining one single-flighted plan, so admission slots
+	// stay occupied for the whole burst window. With one shared key, the
+	// graph-IR replay made plans fast enough that the first could complete
+	// and warm the cache before slow dials arrived, and the burst shed
+	// nothing.
+	heavyModel := func(i int) serve.ModelRef {
+		return serve.ModelRef{Name: fmt.Sprintf("gpt2-burst-%d", i),
+			Layers: 64, Hidden: 1280, Heads: 16, Vocab: 50257, SeqLen: 632}
 	}
 	o := Overload{Offered: burst, MaxInflight: stats.MaxInflight}
 	statuses := make([]int, burst)
@@ -441,6 +451,10 @@ func overload(addr string, burst int) Overload {
 		go func(i int) {
 			defer wg.Done()
 			<-gate
+			heavy := serve.PlanRequest{
+				Model: heavyModel(i), P: 128, MiniBatch: 1024,
+				Platform: serve.PlatformRef{Preset: "pizdaint"},
+			}
 			status, _, err := postJSON(addr+"/v1/plan", heavy)
 			if err != nil {
 				statuses[i] = -1

@@ -18,6 +18,7 @@ import (
 	"chimera/internal/engine"
 	"chimera/internal/perfmodel"
 	"chimera/internal/serve"
+	"chimera/internal/sim"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 	bhat := flag.Int("bhat", 512, "mini-batch size B̂")
 	maxB := flag.Int("maxb", 64, "micro-batch search ceiling")
 	platform := flag.String("platform", "pizdaint", "platform: pizdaint|v100")
+	speed := flag.String("speed", "", "per-worker speed factors, comma-separated; fixes pipeline depth D to the list length")
 	workers := flag.Int("workers", 0, "planner worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit the /v1/plan wire format instead of the table")
 	flag.Parse()
@@ -40,9 +42,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chimera-plan:", err)
 		os.Exit(1)
 	}
+	// Round-trip the factor list through decode so a malformed -speed fails
+	// here with a clear error, not inside every plan candidate.
+	factors, err := sim.DecodeSpeedFactors(*speed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chimera-plan:", err)
+		os.Exit(1)
+	}
 	req := perfmodel.PlanRequest{
 		Model: m, P: *p, MiniBatch: *bhat, MaxB: *maxB,
-		Device: dev, Network: net,
+		SpeedFactors: sim.EncodeSpeedFactors(factors),
+		Device:       dev, Network: net,
 	}
 	eng := engine.Default()
 	if *workers > 0 {

@@ -32,6 +32,7 @@ func main() {
 	platform := flag.String("platform", "pizdaint", "platform: pizdaint|v100")
 	recompute := flag.Bool("recompute", false, "force activation recomputation")
 	auto := flag.Bool("auto", true, "enable recomputation automatically when memory requires it")
+	speed := flag.String("speed", "", "per-worker speed factors, comma-separated (e.g. 1,1,1.5,1 — one per stage; 1.5 = 1.5x slower straggler)")
 	jsonOut := flag.Bool("json", false, "emit the /v1/simulate wire format instead of the report")
 	flag.Parse()
 
@@ -58,7 +59,10 @@ func main() {
 
 	dev, net, err := serve.ResolvePlatform(*platform)
 	check(err)
-	cfg := sim.Config{Model: m, Schedule: s, MicroBatch: *b, W: *w, Recompute: *recompute, Device: dev, Network: net}
+	factors, err := sim.DecodeSpeedFactors(*speed)
+	check(err)
+	cfg := sim.Config{Model: m, Schedule: s, MicroBatch: *b, W: *w, Recompute: *recompute,
+		SpeedFactors: factors, Device: dev, Network: net}
 	var res *sim.Result
 	usedRecompute := *recompute
 	if *auto && !*recompute {

@@ -106,19 +106,31 @@ type Spec struct {
 	ZeRO          bool
 	// CompressionFactor scales allreduce bytes (0/1 = exact fp32).
 	CompressionFactor float64
-	Device            sim.Device
-	Network           sim.Network
+	// SpeedFactors is sim.Config.SpeedFactors in sim.EncodeSpeedFactors'
+	// canonical string form ("" = homogeneous): Spec is a cache key and must
+	// stay a comparable value type, which a slice would break. The encoding
+	// round-trips float64s exactly.
+	SpeedFactors string
+	Device       sim.Device
+	Network      sim.Network
 }
 
 // Config materializes the sim.Config for this spec around a built schedule.
-func (sp Spec) Config(s *schedule.Schedule) sim.Config {
+// The speed-factor string must be valid (callers validate at construction);
+// Evaluate surfaces a decode error as the outcome's Err.
+func (sp Spec) Config(s *schedule.Schedule) (sim.Config, error) {
+	factors, err := sim.DecodeSpeedFactors(sp.SpeedFactors)
+	if err != nil {
+		return sim.Config{}, err
+	}
 	return sim.Config{
 		Model: sp.Model, Schedule: s, MicroBatch: sp.MicroBatch, W: sp.W,
 		Recompute: sp.Recompute, Sync: sp.Sync, Allreduce: sp.Allreduce,
 		Interference: sp.Interference, ZeRO: sp.ZeRO,
 		CompressionFactor: sp.CompressionFactor,
+		SpeedFactors:      factors,
 		Device:            sp.Device, Network: sp.Network,
-	}
+	}, nil
 }
 
 // Outcome is the result of evaluating one Spec. Exactly one of Result and
@@ -275,6 +287,18 @@ func buildSchedule(key ScheduleKey) (*schedule.Schedule, error) {
 	return schedule.ByName(key.Scheme, key.D, key.N)
 }
 
+// Graph returns the compiled dependency-graph IR for the schedule
+// identified by key. The graph rides the memoized schedule — a Schedule
+// compiles itself exactly once and caches the result — so repeated calls
+// (and every replay the engine runs) share one compilation per key.
+func (e *Engine) Graph(key ScheduleKey) (*schedule.Graph, error) {
+	s, err := e.Schedule(key)
+	if err != nil {
+		return nil, err
+	}
+	return s.Graph()
+}
+
 // CriticalPath returns the memoized (Cf, Cb) critical-path counts for the
 // schedule identified by key (§3.4's Eq. 1 inputs).
 func (e *Engine) CriticalPath(key ScheduleKey) (cf, cb int, err error) {
@@ -301,7 +325,10 @@ func (e *Engine) evaluate(spec Spec) Outcome {
 	if err != nil {
 		return Outcome{Err: err}
 	}
-	cfg := spec.Config(s)
+	cfg, err := spec.Config(s)
+	if err != nil {
+		return Outcome{Err: err}
+	}
 	if spec.AutoRecompute {
 		res, rec, err := sim.AutoRun(cfg)
 		return Outcome{Result: res, Recompute: rec, Err: err}

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"testing"
+
+	"chimera/internal/model"
+	"chimera/internal/schedule"
+	"chimera/internal/sim"
+)
+
+// TestSpecSpeedFactorsAreDistinctKeys: heterogeneous evaluations must not
+// collide with homogeneous ones in the outcome cache, and the factors must
+// reach the simulator.
+func TestSpecSpeedFactorsAreDistinctKeys(t *testing.T) {
+	e := New(Workers(1))
+	spec := Spec{
+		Sched: ChimeraKey(4, 4, 0, schedule.Direct),
+		Model: model.BERT48(), MicroBatch: 4, W: 4,
+		Device: sim.PizDaintNode(), Network: sim.AriesNetwork(),
+	}
+	base := e.Evaluate(spec)
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+	slow := spec
+	slow.SpeedFactors = sim.EncodeSpeedFactors([]float64{1, 1, 2, 1})
+	het := e.Evaluate(slow)
+	if het.Err != nil {
+		t.Fatal(het.Err)
+	}
+	if !(het.Result.IterTime > base.Result.IterTime) {
+		t.Fatalf("straggler iter %.6f not above homogeneous %.6f", het.Result.IterTime, base.Result.IterTime)
+	}
+	st := e.Stats()
+	if st.OutcomeEntries != 2 {
+		t.Fatalf("want 2 distinct outcome entries, got %d", st.OutcomeEntries)
+	}
+	// A malformed factor string surfaces as the outcome's error, not a panic.
+	bad := spec
+	bad.SpeedFactors = "1,potato"
+	if out := e.Evaluate(bad); out.Err == nil {
+		t.Fatal("want decode error for malformed speed factors")
+	}
+}
+
+// TestEngineGraphRidesSchedule: Engine.Graph returns the schedule's one
+// compiled graph — same pointer on repeat, shared with direct compilation.
+func TestEngineGraphRidesSchedule(t *testing.T) {
+	e := New(Workers(1))
+	key := ChimeraKey(4, 4, 0, schedule.Direct)
+	g1, err := e.Graph(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := e.Graph(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("Engine.Graph compiled twice for one key")
+	}
+	s, err := e.Schedule(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs != g1 {
+		t.Fatal("Engine.Graph and Schedule.Graph disagree")
+	}
+}

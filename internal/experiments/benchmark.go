@@ -40,6 +40,10 @@ type SweepBenchmark struct {
 	// IdenticalRanking reports that both sides produced bit-identical
 	// throughput rankings over the grid — the engine's determinism gate.
 	IdenticalRanking bool `json:"identical_ranking"`
+
+	// Replay benchmarks the compiled-graph replay against the retained map
+	// interpreter; CI gates Replay.MinSpeedupD16 ≥ 2×.
+	Replay *ReplayBenchmark `json:"replay"`
 }
 
 // SweepBenchSide is one side (serial reference or engine) of the benchmark.
@@ -131,6 +135,12 @@ func BenchmarkSweep(passes int) (*SweepBenchmark, error) {
 	}
 	b.Speedup = b.Parallel.ConfigsPerSec / b.Serial.ConfigsPerSec
 	b.UncachedSpeedup = (serialSec / float64(passes)) / uncachedSec
+
+	replay, err := BenchmarkReplay()
+	if err != nil {
+		return nil, err
+	}
+	b.Replay = replay
 
 	b.IdenticalRanking = true
 	sr, pr := rankOutcomes(serialOuts), rankOutcomes(parallelOuts)

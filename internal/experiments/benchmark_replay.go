@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"chimera/internal/refinterp"
+	"chimera/internal/schedule"
+)
+
+// ReplayBenchCase times one schedule's replay under the retained map
+// interpreter (internal/refinterp) against the compiled-graph topological
+// pass, in nanoseconds per full replay of the practical cost model.
+type ReplayBenchCase struct {
+	Scheme string `json:"scheme"`
+	D      int    `json:"d"`
+	N      int    `json:"n"`
+	// Ops and Edges size the compiled graph.
+	Ops   int `json:"ops"`
+	Edges int `json:"edges"`
+	// CompileNs is the one-time graph compilation cost; it is amortized
+	// over every replay of the schedule (the engine caches compiled graphs
+	// with the schedules they belong to).
+	CompileNs float64 `json:"compile_ns"`
+	// InterpreterNs and GraphNs are ns per replay; Speedup their ratio.
+	InterpreterNs float64 `json:"interpreter_ns_per_replay"`
+	GraphNs       float64 `json:"graph_ns_per_replay"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// ReplayBenchmark is the replay section of BENCH_sweep.json: the compiled
+// dependency-graph IR measured against the reference map interpreter.
+type ReplayBenchmark struct {
+	Cases []ReplayBenchCase `json:"cases"`
+	// MinSpeedupD16 is the smallest graph-over-interpreter speedup among
+	// the D=16 cases — CI gates it at ≥ 2×.
+	MinSpeedupD16 float64 `json:"min_speedup_d16"`
+}
+
+// replayBenchCases is the D=8/16, N up to 64 grid the issue tracks: the
+// bidirectional scheme plus the 1F1B baseline, at tune-sweep depths.
+func replayBenchCases() []struct {
+	scheme string
+	d, n   int
+} {
+	return []struct {
+		scheme string
+		d, n   int
+	}{
+		{"chimera", 8, 32}, {"chimera", 8, 64},
+		{"chimera", 16, 32}, {"chimera", 16, 64},
+		{"dapple", 8, 64}, {"dapple", 16, 64},
+		{"gpipe", 16, 64},
+	}
+}
+
+// timePerCall runs f repeatedly until ~40ms of wall clock has accumulated
+// and returns the mean ns per call — long enough to be stable on CI
+// runners, short enough to keep the whole section under a second.
+func timePerCall(f func()) float64 {
+	const target = 40 * time.Millisecond
+	iters, total := 0, time.Duration(0)
+	for total < target {
+		batch := 8
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			f()
+		}
+		total += time.Since(start)
+		iters += batch
+	}
+	return float64(total.Nanoseconds()) / float64(iters)
+}
+
+// BenchmarkReplay measures map-interpreter vs graph-pass replay on the
+// tracked schedule grid. Schedules are built fresh (outside the engine) so
+// the graph compile is timed explicitly rather than absorbed by a cache.
+func BenchmarkReplay() (*ReplayBenchmark, error) {
+	out := &ReplayBenchmark{}
+	for _, c := range replayBenchCases() {
+		var s *schedule.Schedule
+		var err error
+		if c.scheme == "chimera" {
+			s, err = schedule.Chimera(schedule.ChimeraConfig{D: c.d, N: c.n})
+		} else {
+			s, err = schedule.ByName(c.scheme, c.d, c.n)
+		}
+		if err != nil {
+			return nil, err
+		}
+		compileStart := time.Now()
+		g, err := s.Graph()
+		if err != nil {
+			return nil, err
+		}
+		compileNs := float64(time.Since(compileStart).Nanoseconds())
+
+		cm := schedule.UnitPractical
+		ref, err := refinterp.Replay(s, cm)
+		if err != nil {
+			return nil, err
+		}
+		if got := g.Replay(cm); got.Makespan != ref.Makespan {
+			return nil, fmt.Errorf("replay bench %s D=%d N=%d: graph makespan %d != interpreter %d",
+				c.scheme, c.d, c.n, got.Makespan, ref.Makespan)
+		}
+		interpNs := timePerCall(func() { refinterp.Replay(s, cm) })
+		graphNs := timePerCall(func() { g.Replay(cm) })
+		bc := ReplayBenchCase{
+			Scheme: c.scheme, D: c.d, N: c.n,
+			Ops: g.Nodes(), Edges: g.Edges(),
+			CompileNs:     compileNs,
+			InterpreterNs: interpNs,
+			GraphNs:       graphNs,
+			Speedup:       interpNs / graphNs,
+		}
+		out.Cases = append(out.Cases, bc)
+		if c.d == 16 && (out.MinSpeedupD16 == 0 || bc.Speedup < out.MinSpeedupD16) {
+			out.MinSpeedupD16 = bc.Speedup
+		}
+	}
+	return out, nil
+}

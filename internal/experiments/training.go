@@ -103,6 +103,7 @@ func All(trainingIters int) []func() (*Report, error) {
 		AblationInterference,
 		AblationZeRO,
 		AblationCompression,
+		AblationHeterogeneous,
 		func() (*Report, error) { return TrainingEquivalence(trainingIters) },
 		func() (*Report, error) { return ConvergenceComparison(2 * trainingIters) },
 	}

@@ -80,8 +80,17 @@ func PredictWithCritical(cfg sim.Config, cf, cb int) (*Prediction, error) {
 	}
 	const quantum = 1e-9
 	ftOf := func(stage int) float64 { return float64(stages[stage].FwdFLOPs(1)) * b / rate }
+	// factor(w) is the heterogeneous-cluster seam: per-worker compute-time
+	// multipliers (1 when the cluster is homogeneous; ×1.0 is exact, so the
+	// homogeneous prediction is bit-identical to the factor-free one).
+	factor := func(w int) float64 {
+		if len(cfg.SpeedFactors) == 0 {
+			return 1
+		}
+		return cfg.SpeedFactors[w]
+	}
 	tlC, err := s.ReplayWith(schedule.ReplayConfig{
-		OpCost: func(_ int, op schedule.Op) int64 {
+		OpCost: func(w int, op schedule.Op) int64 {
 			c := ftOf(op.Stage) * float64(len(op.Micros))
 			if op.Kind == schedule.Backward {
 				c = btMult * ftOf(op.Stage) * float64(len(op.Micros))
@@ -89,7 +98,7 @@ func PredictWithCritical(cfg sim.Config, cf, cb int) (*Prediction, error) {
 					c /= 2
 				}
 			}
-			return int64(c / quantum)
+			return int64(factor(w) * c / quantum)
 		},
 		EdgeCost: func(schedule.Op) int64 { return 0 },
 	})
@@ -107,8 +116,15 @@ func PredictWithCritical(cfg sim.Config, cf, cb int) (*Prediction, error) {
 
 	// Unoverlapped gradient synchronization: per worker, allreduce costs
 	// exceeding the free region between gradient completion and the end of
-	// local compute (§3.4, Fig. 6).
-	tl, err := s.Replay(schedule.CostModel{FUnit: 1000, BUnit: int64(1000 * btMult)})
+	// local compute (§3.4, Fig. 6). Per-worker speed factors scale the
+	// replay's unit costs so a straggler's gradients complete late.
+	unitCM := schedule.CostModel{FUnit: 1000, BUnit: int64(1000 * btMult)}
+	tl, err := s.ReplayWith(schedule.ReplayConfig{
+		OpCost: func(w int, op schedule.Op) int64 {
+			return int64(factor(w) * float64(unitCM.Cost(op)))
+		},
+		EdgeCost: func(schedule.Op) int64 { return unitCM.P2P },
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +171,14 @@ type PlanRequest struct {
 	Network   sim.Network
 	// MaxB caps the greedy micro-batch search (power-of-two sweep).
 	MaxB int
+	// SpeedFactors describes a heterogeneous pipeline in
+	// sim.EncodeSpeedFactors' canonical string form ("" = homogeneous):
+	// factor i is the compute-time multiplier of the worker hosting pipeline
+	// position i. PlanRequest doubles as chimera-serve's plan-cache key, so
+	// it must stay a comparable value type — hence the string, not a slice.
+	// When set, the search is restricted to configurations whose pipeline
+	// depth D equals the factor count (the factors describe those workers).
+	SpeedFactors string
 }
 
 // Plan enumerates feasible (W, D, B) Chimera configurations for the request
@@ -173,6 +197,10 @@ func PlanOn(e *engine.Engine, req PlanRequest) ([]*Prediction, error) {
 	if req.MaxB == 0 {
 		req.MaxB = 64
 	}
+	factors, err := sim.DecodeSpeedFactors(req.SpeedFactors)
+	if err != nil {
+		return nil, fmt.Errorf("perfmodel: %w", err)
+	}
 	var ds []int
 	for d := 2; d <= req.P; d += 2 {
 		if req.P%d != 0 || req.Model.Layers%d != 0 {
@@ -181,13 +209,18 @@ func PlanOn(e *engine.Engine, req PlanRequest) ([]*Prediction, error) {
 		if req.MiniBatch%(req.P/d) != 0 {
 			continue
 		}
+		if len(factors) != 0 && d != len(factors) {
+			// The factors name the workers of one pipeline; only depths that
+			// match describe the cluster being planned for.
+			continue
+		}
 		ds = append(ds, d)
 	}
 	preds := make([]*Prediction, len(ds))
 	errs := make([]error, len(ds))
 	e.ForEach(len(ds), func(i int) {
 		d := ds[i]
-		preds[i], errs[i] = planOne(e, req, req.P/d, d)
+		preds[i], errs[i] = planOne(e, req, req.P/d, d, factors)
 	})
 	var out []*Prediction
 	for i, p := range preds {
@@ -215,7 +248,7 @@ func PlanOn(e *engine.Engine, req PlanRequest) ([]*Prediction, error) {
 // planOne finds the greedy max-B configuration at fixed (W, D): the largest
 // power-of-two B that fits device memory without recomputation; only if no
 // B fits plainly, the largest B that fits with recomputation.
-func planOne(e *engine.Engine, req PlanRequest, w, d int) (*Prediction, error) {
+func planOne(e *engine.Engine, req PlanRequest, w, d int, factors []float64) (*Prediction, error) {
 	perPipe := req.MiniBatch / w
 	for _, allowRecompute := range []bool{false, true} {
 		for b := req.MaxB; b >= 1; b /= 2 {
@@ -230,7 +263,8 @@ func planOne(e *engine.Engine, req PlanRequest, w, d int) (*Prediction, error) {
 			}
 			cfg := sim.Config{
 				Model: req.Model, Schedule: sch, MicroBatch: b, W: w,
-				Device: req.Device, Network: req.Network,
+				SpeedFactors: factors,
+				Device:       req.Device, Network: req.Network,
 			}
 			plain, withRec, err := sim.FitsMemory(cfg)
 			if err != nil {

@@ -8,25 +8,16 @@ package schedule
 //
 // These are the Cf and Cb of the paper's Eq. 1 (§3.4). The counts depend
 // only on the schedule's dependency structure, so they are memoized per
-// ScheduleKey by internal/engine.
+// ScheduleKey by internal/engine. Both probes are flat topological passes
+// over the schedule's compiled Graph — the graph is built once and shared.
 func CriticalPath(s *Schedule) (cf, cb int, err error) {
-	m1, err := criticalSpan(s, 100, 200)
+	g, err := s.Graph()
 	if err != nil {
 		return 0, 0, err
 	}
-	m2, err := criticalSpan(s, 101, 200)
-	if err != nil {
-		return 0, 0, err
-	}
+	m1 := g.Replay(CostModel{FUnit: 100, BUnit: 200}).Makespan
+	m2 := g.Replay(CostModel{FUnit: 101, BUnit: 200}).Makespan
 	cf = int(m2 - m1)
 	cb = int((m1 - int64(cf)*100) / 200)
 	return cf, cb, nil
-}
-
-func criticalSpan(s *Schedule, f, b int64) (int64, error) {
-	tl, err := s.Replay(CostModel{FUnit: f, BUnit: b})
-	if err != nil {
-		return 0, err
-	}
-	return tl.Makespan, nil
 }

@@ -1,0 +1,309 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+)
+
+// Graph is a schedule compiled to a dependency-graph IR. Nodes are the
+// schedule's ops laid out worker-major (node id = base[w] + i for op i of
+// worker w); edges are every resolved data dependency plus each worker's
+// program order, stored as flat int-indexed CSR arrays with cross-worker
+// edges flagged (they pay ReplayConfig.EdgeCost).
+//
+// Compilation resolves the dependency tokens — a pure function of the
+// schedule — exactly once; replaying any number of cost models afterwards is
+// a single topological pass, O(ops + edges), with no maps and no rescanning.
+// This is the tune-then-print access pattern of the paper's §4 evaluation:
+// the planner and the figure sweeps replay one schedule under many costs.
+//
+// A Graph is immutable after Compile and safe for concurrent replays.
+type Graph struct {
+	s *Schedule
+	// base[w] is the node id of worker w's first op; base[D] is the node
+	// count.
+	base []int32
+	// ops[id] is the op at node id; worker[id] the worker executing it.
+	ops    []Op
+	worker []int32
+	// CSR predecessor lists: node id's predecessors are
+	// pred[predStart[id]:predStart[id+1]]. predCross[e] flags edges whose
+	// producer runs on a different worker than the consumer.
+	predStart []int32
+	pred      []int32
+	predCross []bool
+	// order is a topological order of the node ids (existence is proven at
+	// compile time; a cycle is the compile-time deadlock error).
+	order []int32
+}
+
+// Graph returns the schedule's compiled dependency graph, building it on
+// first use. The graph is built once per Schedule and cached — generators
+// never mutate a schedule after returning it, and every replay entry point
+// is read-only — so concurrent replays share one compilation.
+func (s *Schedule) Graph() (*Graph, error) {
+	s.compileOnce.Do(func() { s.compiled, s.compileErr = compileGraph(s) })
+	return s.compiled, s.compileErr
+}
+
+// Nodes returns the op count; Edges the dependency-edge count (data edges
+// plus worker program-order edges).
+func (g *Graph) Nodes() int { return len(g.ops) }
+func (g *Graph) Edges() int { return len(g.pred) }
+
+// depTokens calls fn with every data token op consumes: forward activations
+// from the previous stage, the loss dependency at the last stage, and
+// boundary gradients from the next stage (matching half under backward
+// halving). These are the execution semantics the map interpreter resolved
+// per replay; the graph resolves them once.
+func (s *Schedule) depTokens(op Op, fn func(depKey)) {
+	for _, m := range op.Micros {
+		switch {
+		case op.Kind == Forward && op.Stage > 0:
+			fn(depKey{Forward, m, op.Stage - 1, 0})
+		case op.Kind == Backward && op.Stage == s.D-1:
+			fn(depKey{Forward, m, op.Stage, 0})
+		case op.Kind == Backward:
+			fn(depKey{Backward, m, op.Stage + 1, op.Half})
+		}
+	}
+}
+
+func (k depKey) String() string {
+	half := ""
+	if k.half != 0 {
+		half = fmt.Sprintf(" half %d", k.half)
+	}
+	return fmt.Sprintf("%s(micro %d, stage %d%s)", k.kind, k.micro, k.stage, half)
+}
+
+func compileGraph(s *Schedule) (*Graph, error) {
+	total := s.OpsTotal()
+	if int64(total) > math.MaxInt32 {
+		return nil, fmt.Errorf("schedule %q (D=%d N=%d): %d ops exceed the graph's int32 node space", s.Scheme, s.D, s.N, total)
+	}
+	g := &Graph{
+		s:      s,
+		base:   make([]int32, s.D+1),
+		ops:    make([]Op, 0, total),
+		worker: make([]int32, 0, total),
+	}
+	for w, ops := range s.Workers {
+		g.base[w] = int32(len(g.ops))
+		g.ops = append(g.ops, ops...)
+		for range ops {
+			g.worker = append(g.worker, int32(w))
+		}
+	}
+	g.base[s.D] = int32(len(g.ops))
+
+	// producer[token] = node producing it. First producer wins on duplicate
+	// tokens; Validate rejects such schedules separately.
+	producer := make(map[depKey]int32, total)
+	for id, op := range g.ops {
+		for _, m := range op.Micros {
+			k := depKey{op.Kind, m, op.Stage, op.Half}
+			if _, dup := producer[k]; !dup {
+				producer[k] = int32(id)
+			}
+		}
+	}
+
+	// Count edges per node, verifying every consumed token has a producer —
+	// an unresolvable token is the first class of construction deadlock, and
+	// it is diagnosable exactly here, with the op, worker and token in hand.
+	counts := make([]int32, total)
+	var compileErr error
+	for id, op := range g.ops {
+		n := int32(0)
+		if int32(id) > g.base[g.worker[id]] {
+			n++ // program-order edge to the worker's previous op
+		}
+		s.depTokens(op, func(k depKey) {
+			if _, ok := producer[k]; !ok && compileErr == nil {
+				compileErr = fmt.Errorf("schedule %q (D=%d N=%d): deadlock: op %s on worker %d waits on %s, which no op produces",
+					s.Scheme, s.D, s.N, op, g.worker[id], k)
+			}
+			n++
+		})
+		if compileErr != nil {
+			return nil, compileErr
+		}
+		counts[id] = n
+	}
+
+	g.predStart = make([]int32, total+1)
+	for id, n := range counts {
+		g.predStart[id+1] = g.predStart[id] + n
+	}
+	g.pred = make([]int32, g.predStart[total])
+	g.predCross = make([]bool, g.predStart[total])
+	for id, op := range g.ops {
+		w := g.worker[id]
+		e := g.predStart[id]
+		if int32(id) > g.base[w] {
+			g.pred[e] = int32(id) - 1
+			e++
+		}
+		s.depTokens(op, func(k depKey) {
+			p := producer[k]
+			g.pred[e] = p
+			g.predCross[e] = g.worker[p] != w
+			e++
+		})
+	}
+
+	if err := g.topoSort(producer); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// topoSort computes g.order with Kahn's algorithm over the predecessor
+// lists. A cycle is the second class of construction deadlock (an op ordered
+// before one of its dependencies on the same worker); the error names the
+// first blocked op in worker order and the dependency token it waits on.
+func (g *Graph) topoSort(producer map[depKey]int32) error {
+	total := len(g.ops)
+	indeg := make([]int32, total)
+	succCount := make([]int32, total)
+	for id := range g.ops {
+		indeg[id] = g.predStart[id+1] - g.predStart[id]
+		for e := g.predStart[id]; e < g.predStart[id+1]; e++ {
+			succCount[g.pred[e]]++
+		}
+	}
+	succStart := make([]int32, total+1)
+	for id, n := range succCount {
+		succStart[id+1] = succStart[id] + n
+	}
+	succ := make([]int32, succStart[total])
+	fill := make([]int32, total)
+	copy(fill, succStart[:total])
+	for id := range g.ops {
+		for e := g.predStart[id]; e < g.predStart[id+1]; e++ {
+			p := g.pred[e]
+			succ[fill[p]] = int32(id)
+			fill[p]++
+		}
+	}
+
+	order := make([]int32, 0, total)
+	for id := 0; id < total; id++ {
+		if indeg[id] == 0 {
+			order = append(order, int32(id))
+		}
+	}
+	for head := 0; head < len(order); head++ {
+		id := order[head]
+		for e := succStart[id]; e < succStart[id+1]; e++ {
+			n := succ[e]
+			indeg[n]--
+			if indeg[n] == 0 {
+				order = append(order, n)
+			}
+		}
+	}
+	if len(order) < total {
+		return g.deadlockError(indeg, producer)
+	}
+	g.order = order
+	return nil
+}
+
+// deadlockError diagnoses a dependency cycle: it finds the first worker
+// whose next program-order op is blocked, and names that op, its worker, the
+// unmet dependency token, and the token's (equally stuck) producer.
+func (g *Graph) deadlockError(indeg []int32, producer map[depKey]int32) error {
+	s := g.s
+	remaining := 0
+	for _, d := range indeg {
+		if d > 0 {
+			remaining++
+		}
+	}
+	for w := 0; w < s.D; w++ {
+		for id := g.base[w]; id < g.base[w+1]; id++ {
+			if indeg[id] == 0 {
+				continue
+			}
+			// First blocked op of the lowest blocked worker. Its program-
+			// order predecessors all scheduled (it is the first blocked one
+			// only if indeg counts a data dep)... find the unmet data token.
+			op := g.ops[id]
+			var unmet *depKey
+			s.depTokens(op, func(k depKey) {
+				if unmet != nil {
+					return
+				}
+				if p := producer[k]; indeg[p] > 0 || p == id {
+					kk := k
+					unmet = &kk
+				}
+			})
+			if unmet == nil {
+				// Blocked only through program order: an earlier op on this
+				// worker is part of the cycle; keep scanning that one.
+				continue
+			}
+			p := producer[*unmet]
+			return fmt.Errorf("schedule %q (D=%d N=%d): deadlock with %d ops unscheduled: op %s on worker %d waits on %s, whose producer %s on worker %d cannot run",
+				s.Scheme, s.D, s.N, remaining, op, w, *unmet, g.ops[p], g.worker[p])
+		}
+	}
+	return fmt.Errorf("schedule %q (D=%d N=%d): deadlock with %d ops unscheduled", s.Scheme, s.D, s.N, remaining)
+}
+
+// ReplayWith evaluates the graph under rc in one topological pass: an op
+// starts at the latest of its predecessors' finish times (cross-worker edges
+// add EdgeCost) and runs for OpCost. The recurrence is exactly the map
+// interpreter's greedy semantics — each worker executes its list in order,
+// blocking on receives — so timelines are bit-identical to it.
+func (g *Graph) ReplayWith(rc ReplayConfig) *Timeline {
+	s := g.s
+	tl := &Timeline{
+		Start:    make([][]int64, s.D),
+		End:      make([][]int64, s.D),
+		BusyTime: make([]int64, s.D),
+	}
+	for w := range tl.Start {
+		tl.Start[w] = make([]int64, len(s.Workers[w]))
+		tl.End[w] = make([]int64, len(s.Workers[w]))
+	}
+	end := make([]int64, len(g.ops))
+	for _, id := range g.order {
+		op := &g.ops[id]
+		w := g.worker[id]
+		var start int64
+		edge, haveEdge := int64(0), false
+		for e := g.predStart[id]; e < g.predStart[id+1]; e++ {
+			t := end[g.pred[e]]
+			if g.predCross[e] {
+				if !haveEdge {
+					edge, haveEdge = rc.EdgeCost(*op), true
+				}
+				t += edge
+			}
+			if t > start {
+				start = t
+			}
+		}
+		fin := start + rc.OpCost(int(w), *op)
+		end[id] = fin
+		i := id - g.base[w]
+		tl.Start[w][i], tl.End[w][i] = start, fin
+		tl.BusyTime[w] += fin - start
+		if fin > tl.Makespan {
+			tl.Makespan = fin
+		}
+	}
+	return tl
+}
+
+// Replay is ReplayWith under a uniform cost model.
+func (g *Graph) Replay(cm CostModel) *Timeline {
+	return g.ReplayWith(ReplayConfig{
+		OpCost:   func(_ int, op Op) int64 { return cm.Cost(op) },
+		EdgeCost: func(Op) int64 { return cm.P2P },
+	})
+}

@@ -1,0 +1,227 @@
+package schedule_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"chimera/internal/refinterp"
+	"chimera/internal/schedule"
+)
+
+// equivCase is one schedule of the equivalence grid.
+type equivCase struct {
+	name string
+	s    *schedule.Schedule
+}
+
+// equivSchedules builds every scheme at several depths plus the Chimera
+// concatenation variants and the 2f generalization — the full vocabulary the
+// graph IR must reproduce bit-for-bit.
+func equivSchedules(t *testing.T) []equivCase {
+	t.Helper()
+	var out []equivCase
+	add := func(name string, s *schedule.Schedule, err error) {
+		if err != nil {
+			t.Fatalf("building %s: %v", name, err)
+		}
+		out = append(out, equivCase{name, s})
+	}
+	for _, scheme := range append(schedule.Schemes(), "1f1b") {
+		for _, dn := range [][2]int{{4, 4}, {4, 8}, {8, 16}} {
+			s, err := schedule.ByName(scheme, dn[0], dn[1])
+			add(scheme, s, err)
+		}
+	}
+	for _, c := range []schedule.ChimeraConfig{
+		{D: 4, N: 8, Concat: schedule.ForwardDoubling},
+		{D: 4, N: 8, Concat: schedule.BackwardHalving},
+		{D: 8, N: 16, Concat: schedule.ForwardDoubling},
+		{D: 8, N: 24, Concat: schedule.ForwardDoubling}, // odd residual unit
+		{D: 8, N: 16, Concat: schedule.BackwardHalving},
+		{D: 8, N: 8, F: 2},
+		{D: 8, N: 16, F: 2, Concat: schedule.ForwardDoubling},
+	} {
+		s, err := schedule.Chimera(c)
+		add("chimera-variant", s, err)
+	}
+	return out
+}
+
+// assertTimelinesEqual requires bit-identical Start/End/BusyTime/Makespan.
+func assertTimelinesEqual(t *testing.T, name, model string, got, want *schedule.Timeline) {
+	t.Helper()
+	if got.Makespan != want.Makespan {
+		t.Fatalf("%s/%s: graph makespan %d, interpreter %d", name, model, got.Makespan, want.Makespan)
+	}
+	if !reflect.DeepEqual(got.Start, want.Start) || !reflect.DeepEqual(got.End, want.End) {
+		t.Fatalf("%s/%s: graph op times diverge from interpreter", name, model)
+	}
+	if !reflect.DeepEqual(got.BusyTime, want.BusyTime) {
+		t.Fatalf("%s/%s: graph busy times diverge from interpreter", name, model)
+	}
+}
+
+// TestGraphReplayEquivalence: the compiled-graph topological pass must
+// produce bit-identical timelines to the retained map interpreter across
+// every scheme × cost model × variant, including a heterogeneous
+// (worker-dependent) cost assignment through the ReplayWith seam.
+func TestGraphReplayEquivalence(t *testing.T) {
+	costModels := []struct {
+		name string
+		cm   schedule.CostModel
+	}{
+		{"unit-equal", schedule.UnitEqual},
+		{"unit-practical", schedule.UnitPractical},
+		{"practical-p2p", schedule.CostModel{FUnit: 1, BUnit: 2, P2P: 3}},
+		{"calibrated-p2p", schedule.CostModel{FUnit: 173, BUnit: 391, P2P: 29}},
+	}
+	for _, c := range equivSchedules(t) {
+		for _, m := range costModels {
+			got, err := c.s.Replay(m.cm)
+			if err != nil {
+				t.Fatalf("%s/%s: graph replay: %v", c.name, m.name, err)
+			}
+			want, err := refinterp.Replay(c.s, m.cm)
+			if err != nil {
+				t.Fatalf("%s/%s: interpreter replay: %v", c.name, m.name, err)
+			}
+			assertTimelinesEqual(t, c.name, m.name, got, want)
+		}
+		// Heterogeneous costs through ReplayWith: per-worker multipliers and
+		// op-dependent edge costs exercise the OpCost(worker, op) seam.
+		rc := schedule.ReplayConfig{
+			OpCost: func(w int, op schedule.Op) int64 {
+				base := int64(3 * len(op.Micros))
+				if op.Kind == schedule.Backward {
+					base = int64(7 * len(op.Micros))
+				}
+				return base * int64(w+1)
+			},
+			EdgeCost: func(op schedule.Op) int64 { return int64(2*len(op.Micros) + 1) },
+		}
+		got, err := c.s.ReplayWith(rc)
+		if err != nil {
+			t.Fatalf("%s/hetero: graph replay: %v", c.name, err)
+		}
+		want, err := refinterp.ReplayWith(c.s, rc)
+		if err != nil {
+			t.Fatalf("%s/hetero: interpreter replay: %v", c.name, err)
+		}
+		assertTimelinesEqual(t, c.name, "hetero", got, want)
+	}
+}
+
+// TestGraphCriticalPathEquivalence: (Cf, Cb) from the graph probes must
+// match the interpreter's.
+func TestGraphCriticalPathEquivalence(t *testing.T) {
+	for _, c := range equivSchedules(t) {
+		gotF, gotB, err := schedule.CriticalPath(c.s)
+		if err != nil {
+			t.Fatalf("%s: graph critical path: %v", c.name, err)
+		}
+		wantF, wantB, err := refinterp.CriticalPath(c.s)
+		if err != nil {
+			t.Fatalf("%s: interpreter critical path: %v", c.name, err)
+		}
+		if gotF != wantF || gotB != wantB {
+			t.Fatalf("%s: graph (Cf, Cb) = (%d, %d), interpreter (%d, %d)",
+				c.name, gotF, gotB, wantF, wantB)
+		}
+	}
+}
+
+// TestGraphSizes sanity-checks the IR: one node per op; edges = program-order
+// chains (ops − workers with ops) + one data edge per consumed token.
+func TestGraphSizes(t *testing.T) {
+	s, err := schedule.Chimera(schedule.ChimeraConfig{D: 4, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != s.OpsTotal() {
+		t.Fatalf("graph has %d nodes, schedule %d ops", g.Nodes(), s.OpsTotal())
+	}
+	// D=4, N=4 chimera: 32 ops, 4 workers → 28 program-order edges. Data
+	// edges: every forward except the 4 stage-0 entries (12) plus every
+	// backward, including the last stage's loss dependency (16) → 28.
+	if want := 28 + 28; g.Edges() != want {
+		t.Fatalf("graph has %d edges, want %d", g.Edges(), want)
+	}
+}
+
+// brokenSchedule builds a hand-rolled 2-worker schedule for deadlock tests.
+func brokenSchedule(workers [][]schedule.Op) *schedule.Schedule {
+	return &schedule.Schedule{
+		Scheme:       "broken",
+		D:            2,
+		N:            1,
+		Workers:      workers,
+		Replicas:     []schedule.ReplicaMap{{Down: true, WorkerOf: []int{0, 1}}},
+		MicroReplica: []int{0},
+		Synchronous:  true,
+	}
+}
+
+// TestDeadlockNamesMissingProducer: a dependency on a token no op produces
+// must be reported with the blocked op, its worker, and the token.
+func TestDeadlockNamesMissingProducer(t *testing.T) {
+	s := brokenSchedule([][]schedule.Op{
+		{{Kind: schedule.Forward, Stage: 0, Micros: []int{0}}},
+		// B at the last stage needs F(micro 0, stage 1), which is missing.
+		{{Kind: schedule.Backward, Stage: 1, Micros: []int{0}}},
+	})
+	_, err := s.Replay(schedule.UnitEqual)
+	if err == nil {
+		t.Fatal("want deadlock error, got none")
+	}
+	for _, want := range []string{"deadlock", "B0@s1/r0", "worker 1", "F(micro 0, stage 1)", "no op produces"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("deadlock error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestDeadlockNamesCycle: an op ordered before its producer on the same
+// worker must be reported with the blocked op, worker, token and producer.
+func TestDeadlockNamesCycle(t *testing.T) {
+	s := brokenSchedule([][]schedule.Op{
+		{{Kind: schedule.Forward, Stage: 0, Micros: []int{0}}},
+		// B before the F it depends on: a program-order cycle on worker 1.
+		{
+			{Kind: schedule.Backward, Stage: 1, Micros: []int{0}},
+			{Kind: schedule.Forward, Stage: 1, Micros: []int{0}},
+		},
+	})
+	_, err := s.Replay(schedule.UnitEqual)
+	if err == nil {
+		t.Fatal("want deadlock error, got none")
+	}
+	for _, want := range []string{"deadlock", "B0@s1/r0", "worker 1", "F(micro 0, stage 1)", "cannot run"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("deadlock error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestGraphCompileOnce: repeated replays share one compiled graph.
+func TestGraphCompileOnce(t *testing.T) {
+	s, err := schedule.Chimera(schedule.ChimeraConfig{D: 4, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("Graph() built twice for one schedule")
+	}
+}

@@ -5,13 +5,17 @@
 //
 // A Schedule is, per worker, an ordered list of forward/backward operations.
 // Timing is *derived*, not stored: executing the per-worker lists in order
-// under data dependencies (greedy, dependency-driven replay — see
-// timeline.go) yields start/finish times for any cost model. This mirrors
-// how a real pipeline executes: each worker simply runs its local program and
-// blocks on receives.
+// under data dependencies yields start/finish times for any cost model. This
+// mirrors how a real pipeline executes: each worker simply runs its local
+// program and blocks on receives. The dependency structure is compiled once
+// per schedule into a Graph IR (graph.go); Replay/ReplayWith (timeline.go)
+// are a single topological pass over it.
 package schedule
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind distinguishes forward from backward passes.
 type Kind uint8
@@ -92,6 +96,14 @@ type Schedule struct {
 	HalvedBackward bool
 	// MicroReplica[m] is the replica that owns micro-batch m.
 	MicroReplica []int
+
+	// Compiled dependency-graph IR, built lazily once per schedule (see
+	// graph.go). Generators finish all mutation before returning, so the
+	// cache is safe to share across concurrent replays. Schedules must not
+	// be copied by value after first replay.
+	compileOnce sync.Once
+	compiled    *Graph
+	compileErr  error
 }
 
 // ReplicasPerWorker returns how many model replicas have a stage on each

@@ -1,9 +1,6 @@
 package schedule
 
-import (
-	"fmt"
-	"sort"
-)
+import "sort"
 
 // CostModel supplies integer op durations for timeline replay. Durations are
 // in arbitrary units (the unit-cost analyses use F=1 or F=2/B=2 style
@@ -26,10 +23,12 @@ var UnitEqual = CostModel{FUnit: 1, BUnit: 1}
 // UnitPractical is the practical model (backward ≈ 2× forward, Fig. 2).
 var UnitPractical = CostModel{FUnit: 1, BUnit: 2}
 
-// opCost returns the duration of op o under the model, honouring the
+// Cost returns the duration of op o under the model, honouring the
 // forward-doubling and backward-halving variants: a doubled forward carries
-// two micro-batches; a halved backward processes half a micro-batch.
-func (s *Schedule) opCost(o Op, cm CostModel) int64 {
+// two micro-batches; a halved backward processes half a micro-batch. This is
+// the one authoritative unit-cost rule — graph replay and the perfmodel's
+// Eq. 1 probes all route through it.
+func (cm CostModel) Cost(o Op) int64 {
 	if o.Kind == Forward {
 		return cm.FUnit * int64(len(o.Micros))
 	}
@@ -59,12 +58,6 @@ type depKey struct {
 	half  uint8
 }
 
-// doneInfo records when and where a data token was produced.
-type doneInfo struct {
-	end    int64
-	worker int
-}
-
 // ReplayConfig generalizes replay costing: OpCost gives the duration of an
 // op on its worker; EdgeCost gives the communication delay added to a
 // dependency edge that crosses workers (e.g. α + β·activationBytes).
@@ -76,10 +69,11 @@ type ReplayConfig struct {
 // Replay computes start/end times for every op under a uniform cost model.
 // See ReplayWith for the execution semantics.
 func (s *Schedule) Replay(cm CostModel) (*Timeline, error) {
-	return s.ReplayWith(ReplayConfig{
-		OpCost:   func(_ int, op Op) int64 { return s.opCost(op, cm) },
-		EdgeCost: func(Op) int64 { return cm.P2P },
-	})
+	g, err := s.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return g.Replay(cm), nil
 }
 
 // ReplayWith computes start/end times for every op: each worker executes its
@@ -87,101 +81,19 @@ func (s *Schedule) Replay(cm CostModel) (*Timeline, error) {
 // its data dependencies (forward from previous stage, backward from next
 // stage, loss dependency at the last stage) have completed, plus edge cost
 // for cross-worker edges. Returns an error if the schedule deadlocks
-// (circular wait), which indicates a construction bug.
+// (circular wait or unresolvable dependency), which indicates a construction
+// bug; the error names the blocked op, its worker and the unmet token.
+//
+// The dependency structure is a pure function of the schedule, so it is
+// compiled once into a Graph (see graph.go) and every replay is a flat
+// topological pass over it. internal/refinterp retains the original
+// map-based interpreter as the equivalence reference.
 func (s *Schedule) ReplayWith(rc ReplayConfig) (*Timeline, error) {
-	tl := &Timeline{
-		Start:    make([][]int64, s.D),
-		End:      make([][]int64, s.D),
-		BusyTime: make([]int64, s.D),
+	g, err := s.Graph()
+	if err != nil {
+		return nil, err
 	}
-	for w := range tl.Start {
-		tl.Start[w] = make([]int64, len(s.Workers[w]))
-		tl.End[w] = make([]int64, len(s.Workers[w]))
-	}
-	// finished[token] = (end time, worker) of the producing op.
-	finished := make(map[depKey]doneInfo)
-	ptr := make([]int, s.D)
-	free := make([]int64, s.D)
-	remaining := s.OpsTotal()
-	for remaining > 0 {
-		progress := false
-		for w := 0; w < s.D; w++ {
-			for ptr[w] < len(s.Workers[w]) {
-				op := s.Workers[w][ptr[w]]
-				ready, ok := s.opReady(op, w, finished, rc)
-				if !ok {
-					break
-				}
-				start := maxI64(ready, free[w])
-				end := start + rc.OpCost(w, op)
-				i := ptr[w]
-				tl.Start[w][i], tl.End[w][i] = start, end
-				tl.BusyTime[w] += end - start
-				free[w] = end
-				for _, m := range op.Micros {
-					finished[depKey{op.Kind, m, op.Stage, op.Half}] = doneInfo{end, w}
-				}
-				ptr[w]++
-				remaining--
-				progress = true
-				if end > tl.Makespan {
-					tl.Makespan = end
-				}
-			}
-		}
-		if !progress {
-			return nil, fmt.Errorf("schedule %q (D=%d N=%d): deadlock with %d ops unscheduled; next ops: %s",
-				s.Scheme, s.D, s.N, remaining, s.describeBlocked(ptr))
-		}
-	}
-	return tl, nil
-}
-
-// opReady reports whether all dependencies of op are satisfied and the
-// earliest start time implied by them.
-func (s *Schedule) opReady(op Op, w int, finished map[depKey]doneInfo, rc ReplayConfig) (int64, bool) {
-	var ready int64
-	need := func(k depKey) bool {
-		d, ok := finished[k]
-		if !ok {
-			return false
-		}
-		t := d.end
-		if d.worker != w {
-			t += rc.EdgeCost(op)
-		}
-		if t > ready {
-			ready = t
-		}
-		return true
-	}
-	for _, m := range op.Micros {
-		switch {
-		case op.Kind == Forward && op.Stage > 0:
-			if !need(depKey{Forward, m, op.Stage - 1, 0}) {
-				return 0, false
-			}
-		case op.Kind == Backward && op.Stage == s.D-1:
-			if !need(depKey{Forward, m, op.Stage, 0}) {
-				return 0, false
-			}
-		case op.Kind == Backward:
-			if !need(depKey{Backward, m, op.Stage + 1, op.Half}) {
-				return 0, false
-			}
-		}
-	}
-	return ready, true
-}
-
-func (s *Schedule) describeBlocked(ptr []int) string {
-	out := ""
-	for w := 0; w < s.D; w++ {
-		if ptr[w] < len(s.Workers[w]) {
-			out += fmt.Sprintf(" w%d:%s", w, s.Workers[w][ptr[w]])
-		}
-	}
-	return out
+	return g.ReplayWith(rc), nil
 }
 
 // BubbleRatio returns the fraction of worker-time spent idle within the
@@ -277,13 +189,6 @@ func (s *Schedule) sortWorkerOps() {
 			return a.Half < b.Half
 		})
 	}
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // ComputeEnd returns per-worker completion time of the final op.

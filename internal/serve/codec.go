@@ -59,6 +59,32 @@ const (
 	MaxModelDim = 1 << 20
 )
 
+// Speed-factor bounds: a factor is a per-worker compute-time multiplier
+// (1 = nominal, 2 = twice as slow). The bounds are the simulator's own —
+// beyond them its integer time quantization overflows — re-exported so the
+// wire contract names them.
+const (
+	MinSpeedFactor = sim.MinSpeedFactor
+	MaxSpeedFactor = sim.MaxSpeedFactor
+)
+
+// validateSpeedFactors checks the shared per-worker speed-factor rules:
+// every factor in [MinSpeedFactor, MaxSpeedFactor], and (when wantLen > 0)
+// the list length equal to the pipeline depth D.
+func validateSpeedFactors(ctx string, factors []float64, wantLen int) error {
+	if wantLen > 0 && len(factors) != wantLen {
+		return fmt.Errorf("%s: speed_factors has %d entries, schedule has d=%d workers (lengths must match)",
+			ctx, len(factors), wantLen)
+	}
+	for w, f := range factors {
+		if !(f >= MinSpeedFactor && f <= MaxSpeedFactor) {
+			return fmt.Errorf("%s: speed_factors[%d] = %g out of range [%g, %g]",
+				ctx, w, f, float64(MinSpeedFactor), float64(MaxSpeedFactor))
+		}
+	}
+	return nil
+}
+
 var modelPresets = map[string]func() model.Config{
 	"bert48":     model.BERT48,
 	"bert48-512": model.BERT48Seq512,
@@ -264,8 +290,13 @@ type PlanRequest struct {
 	// MiniBatch is the target mini-batch size B̂.
 	MiniBatch int `json:"mini_batch"`
 	// MaxB caps the greedy micro-batch search (default 64).
-	MaxB     int         `json:"max_b,omitempty"`
-	Platform PlatformRef `json:"platform"`
+	MaxB int `json:"max_b,omitempty"`
+	// SpeedFactors describes a heterogeneous pipeline: factor i is the
+	// compute-time multiplier of the worker hosting pipeline position i
+	// (1 = nominal, 2 = twice as slow). When set, the plan search is
+	// restricted to configurations whose depth D equals the factor count.
+	SpeedFactors []float64   `json:"speed_factors,omitempty"`
+	Platform     PlatformRef `json:"platform"`
 }
 
 // Resolve validates the request into a perfmodel.PlanRequest.
@@ -294,9 +325,26 @@ func (r PlanRequest) Resolve() (perfmodel.PlanRequest, error) {
 		// share one plan-cache entry.
 		maxB = 64
 	}
+	if len(r.SpeedFactors) != 0 {
+		// The factors name the workers of one pipeline, so the list length
+		// is the pipeline depth the plan is restricted to: it must be a
+		// legal depth (even, within bounds) that divides P.
+		d := len(r.SpeedFactors)
+		if d < 2 || d > MaxStages || d%2 != 0 {
+			return out, fmt.Errorf("plan: speed_factors needs an even length in [2, %d] (it fixes the pipeline depth D), got %d",
+				MaxStages, d)
+		}
+		if r.P%d != 0 {
+			return out, fmt.Errorf("plan: speed_factors length %d must divide p=%d", d, r.P)
+		}
+		if err := validateSpeedFactors("plan", r.SpeedFactors, 0); err != nil {
+			return out, err
+		}
+	}
 	return perfmodel.PlanRequest{
 		Model: m, P: r.P, MiniBatch: r.MiniBatch, MaxB: maxB,
-		Device: dev, Network: net,
+		SpeedFactors: sim.EncodeSpeedFactors(r.SpeedFactors),
+		Device:       dev, Network: net,
 	}, nil
 }
 
@@ -313,11 +361,14 @@ type SimulateRequest struct {
 	// Sync: eager-sync-opt (default) | eager-sync | post-hoc.
 	Sync string `json:"sync,omitempty"`
 	// Allreduce: rabenseifner (default) | ring.
-	Allreduce         string      `json:"allreduce,omitempty"`
-	Interference      float64     `json:"interference,omitempty"`
-	ZeRO              bool        `json:"zero,omitempty"`
-	CompressionFactor float64     `json:"compression_factor,omitempty"`
-	Platform          PlatformRef `json:"platform"`
+	Allreduce         string  `json:"allreduce,omitempty"`
+	Interference      float64 `json:"interference,omitempty"`
+	ZeRO              bool    `json:"zero,omitempty"`
+	CompressionFactor float64 `json:"compression_factor,omitempty"`
+	// SpeedFactors[w] is the compute-time multiplier of pipeline worker w
+	// (1 = nominal, 2 = twice as slow). Length must equal the schedule's d.
+	SpeedFactors []float64   `json:"speed_factors,omitempty"`
+	Platform     PlatformRef `json:"platform"`
 }
 
 var syncStrategies = map[string]sim.SyncStrategy{
@@ -371,12 +422,18 @@ func (r SimulateRequest) Spec() (engine.Spec, error) {
 	if r.CompressionFactor < 0 || r.CompressionFactor > 1 {
 		return out, fmt.Errorf("simulate: compression_factor must be in [0, 1], got %g", r.CompressionFactor)
 	}
+	if len(r.SpeedFactors) != 0 {
+		if err := validateSpeedFactors("simulate", r.SpeedFactors, r.Schedule.D); err != nil {
+			return out, err
+		}
+	}
 	return engine.Spec{
 		Sched: key, Model: m, MicroBatch: r.MicroBatch, W: r.W,
 		Recompute: r.Recompute, AutoRecompute: r.AutoRecompute,
 		Sync: sync, Allreduce: ar, Interference: r.Interference,
 		ZeRO: r.ZeRO, CompressionFactor: r.CompressionFactor,
-		Device: dev, Network: net,
+		SpeedFactors: sim.EncodeSpeedFactors(r.SpeedFactors),
+		Device:       dev, Network: net,
 	}, nil
 }
 

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"chimera/internal/model"
+	"chimera/internal/schedule"
+)
+
+func heteroBaseConfig(t *testing.T) Config {
+	t.Helper()
+	s, err := schedule.Chimera(schedule.ChimeraConfig{D: 4, N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Model: model.BERT48(), Schedule: s, MicroBatch: 4, W: 2,
+		Device: PizDaintNode(), Network: AriesNetwork(),
+	}
+}
+
+// TestSpeedFactorsUnitIsIdentity: factors of all 1.0 must be bit-identical
+// to the homogeneous run (×1.0 is exact in IEEE arithmetic).
+func TestSpeedFactorsUnitIsIdentity(t *testing.T) {
+	cfg := heteroBaseConfig(t)
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SpeedFactors = []float64{1, 1, 1, 1}
+	unit, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, unit) {
+		t.Fatalf("unit speed factors changed the result: %+v vs %+v", base, unit)
+	}
+}
+
+// TestSpeedFactorsStraggler: a slow worker must stretch the iteration, and
+// more severity must stretch it monotonically.
+func TestSpeedFactorsStraggler(t *testing.T) {
+	cfg := heteroBaseConfig(t)
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := base.IterTime
+	for _, sev := range []float64{1.2, 1.5, 2.0} {
+		cfg.SpeedFactors = []float64{1, sev, 1, 1}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.IterTime <= prev {
+			t.Fatalf("severity %.1f: iter %.6fs not longer than %.6fs", sev, res.IterTime, prev)
+		}
+		prev = res.IterTime
+	}
+	// A uniformly 2× slower cluster doubles the compute span exactly would
+	// be too strong (sync is unscaled); but the straggler bound holds: the
+	// 2× case cannot beat a fully 2× cluster.
+	cfg.SpeedFactors = []float64{2, 2, 2, 2}
+	uniform, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev > uniform.IterTime {
+		t.Fatalf("one 2x straggler (%.6fs) slower than a fully 2x cluster (%.6fs)", prev, uniform.IterTime)
+	}
+}
+
+// TestSpeedFactorsValidation: wrong length and non-positive/non-finite
+// factors must be rejected.
+func TestSpeedFactorsValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		factors []float64
+		want    string
+	}{
+		{"short", []float64{1, 1}, "lengths must match"},
+		{"long", []float64{1, 1, 1, 1, 1}, "lengths must match"},
+		{"zero", []float64{1, 0, 1, 1}, "positive"},
+		{"negative", []float64{1, -2, 1, 1}, "positive"},
+		{"nan", []float64{1, math.NaN(), 1, 1}, "positive"},
+		{"inf", []float64{1, math.Inf(1), 1, 1}, "positive"},
+		// Beyond the quantization bound the int64 replay would overflow and
+		// wrap into a silently-wrong timeline; it must be rejected instead.
+		{"overflow", []float64{1, 1e300, 1, 1}, "within"},
+		{"underflow", []float64{1, 1e-300, 1, 1}, "within"},
+	} {
+		cfg := heteroBaseConfig(t)
+		cfg.SpeedFactors = tc.factors
+		if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: want error mentioning %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+// TestEncodeDecodeSpeedFactors: the canonical string form round-trips
+// exactly, including factors with no finite binary representation.
+func TestEncodeDecodeSpeedFactors(t *testing.T) {
+	for _, factors := range [][]float64{
+		nil,
+		{1, 1.1, 1.25, 2},
+		{0.9999999999999999, 1e-6, 1e6},
+	} {
+		enc := EncodeSpeedFactors(factors)
+		dec, err := DecodeSpeedFactors(enc)
+		if err != nil {
+			t.Fatalf("decode(%q): %v", enc, err)
+		}
+		if !reflect.DeepEqual(dec, factors) {
+			t.Fatalf("round trip %v → %q → %v", factors, enc, dec)
+		}
+	}
+	for _, bad := range []string{"1,abc", "1,,2", "0,1", "-1,1", "1,+Inf", "1e300,1", "1,1e-300"} {
+		if _, err := DecodeSpeedFactors(bad); err == nil {
+			t.Fatalf("decode(%q): want error", bad)
+		}
+	}
+}

@@ -64,9 +64,26 @@ type Config struct {
 	// (sparsification/quantization, the paper's conclusion): 0 or 1 means
 	// exact fp32; int8 ≈ 0.26; top-1% ≈ 0.02.
 	CompressionFactor float64
+	// SpeedFactors models a heterogeneous cluster: SpeedFactors[w] is the
+	// per-op compute-time multiplier of pipeline worker w (1 = nominal,
+	// 2 = a 2× slower straggler). Empty means homogeneous. When set, the
+	// length must equal the schedule's D and every factor must lie in
+	// [MinSpeedFactor, MaxSpeedFactor]. Factors scale compute only, not
+	// p2p or allreduce.
+	SpeedFactors []float64
 
 	Device  Device
 	Network Network
+}
+
+// speedFactor returns worker w's compute-time multiplier (1 when
+// homogeneous). Multiplying by the 1.0 default is exact in IEEE arithmetic,
+// so a homogeneous run is bit-identical to one with no factors set.
+func (c *Config) speedFactor(w int) float64 {
+	if len(c.SpeedFactors) == 0 {
+		return 1
+	}
+	return c.SpeedFactors[w]
 }
 
 // Result summarizes one simulated training iteration.
@@ -103,7 +120,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	tl, err := s.ReplayWith(schedule.ReplayConfig{
-		OpCost:   func(_ int, op schedule.Op) int64 { return toQ(opSeconds(&cfg, stages, op)) },
+		OpCost:   func(w int, op schedule.Op) int64 { return toQ(opSeconds(&cfg, stages, w, op)) },
 		EdgeCost: func(op schedule.Op) int64 { return toQ(edgeSeconds(&cfg, op)) },
 	})
 	if err != nil {
@@ -155,6 +172,18 @@ func validate(cfg *Config) error {
 	if cfg.Interference == 0 {
 		cfg.Interference = 0.15
 	}
+	if len(cfg.SpeedFactors) != 0 {
+		if len(cfg.SpeedFactors) != cfg.Schedule.D {
+			return fmt.Errorf("sim: %d speed factors for D=%d workers (lengths must match)",
+				len(cfg.SpeedFactors), cfg.Schedule.D)
+		}
+		for w, f := range cfg.SpeedFactors {
+			if !validSpeedFactor(f) {
+				return fmt.Errorf("sim: speed factor for worker %d must be positive, finite and within [%g, %g], got %g",
+					w, float64(MinSpeedFactor), float64(MaxSpeedFactor), f)
+			}
+		}
+	}
 	if cfg.Device.PeakFLOPS == 0 {
 		cfg.Device = PizDaintNode()
 	}
@@ -166,17 +195,18 @@ func validate(cfg *Config) error {
 
 func toQ(sec float64) int64 { return int64(math.Round(sec / timeQuantum)) }
 
-// opSeconds is the compute time of one schedule op: FLOPs over the device's
-// effective rate at the op's effective batch size. Doubled forwards run two
-// micro-batches jointly (better efficiency); halved backwards run half a
+// opSeconds is the compute time of one schedule op on worker w: FLOPs over
+// the device's effective rate at the op's effective batch size, scaled by
+// the worker's speed factor (the heterogeneity seam). Doubled forwards run
+// two micro-batches jointly (better efficiency); halved backwards run half a
 // micro-batch (worse efficiency) — exactly the trade-offs of §3.5.
-func opSeconds(cfg *Config, stages []model.Stage, op schedule.Op) float64 {
+func opSeconds(cfg *Config, stages []model.Stage, w int, op schedule.Op) float64 {
 	st := stages[op.Stage]
 	b := float64(cfg.MicroBatch)
 	if op.Kind == schedule.Forward {
 		b *= float64(len(op.Micros))
 		flops := float64(st.FwdFLOPs(1)) * b
-		return flops / (cfg.Device.PeakFLOPS * cfg.Device.Efficiency(b))
+		return cfg.speedFactor(w) * flops / (cfg.Device.PeakFLOPS * cfg.Device.Efficiency(b))
 	}
 	if op.Half != 0 {
 		b /= 2
@@ -186,7 +216,7 @@ func opSeconds(cfg *Config, stages []model.Stage, op schedule.Op) float64 {
 		mult = 3.0
 	}
 	flops := mult * float64(st.FwdFLOPs(1)) * b * float64(len(op.Micros))
-	return flops / (cfg.Device.PeakFLOPS * cfg.Device.Efficiency(b))
+	return cfg.speedFactor(w) * flops / (cfg.Device.PeakFLOPS * cfg.Device.Efficiency(b))
 }
 
 // edgeSeconds is the p2p cost of the activation (or boundary-gradient)
@@ -312,7 +342,7 @@ func asyncFinish(cfg *Config, stages []model.Stage, tl *schedule.Timeline) float
 	steady := float64(tl.Makespan) * timeQuantum
 	if doubled, err := schedule.ByName(s.Scheme, s.D, 2*s.N); err == nil {
 		tl2, err := doubled.ReplayWith(schedule.ReplayConfig{
-			OpCost:   func(_ int, op schedule.Op) int64 { return toQ(opSeconds(cfg, stages, op)) },
+			OpCost:   func(w int, op schedule.Op) int64 { return toQ(opSeconds(cfg, stages, w, op)) },
 			EdgeCost: func(op schedule.Op) int64 { return toQ(edgeSeconds(cfg, op)) },
 		})
 		if err == nil {

@@ -18,13 +18,13 @@ func TestSimForwardDoublingCosts(t *testing.T) {
 	}
 	cfg := Config{Model: model.BERT48(), MicroBatch: 2, W: 1,
 		Device: PizDaintNode(), Network: AriesNetwork()}
-	single := opSeconds(&cfg, stages, schedule.Op{Kind: schedule.Forward, Stage: 1, Micros: []int{0}})
-	doubled := opSeconds(&cfg, stages, schedule.Op{Kind: schedule.Forward, Stage: 1, Micros: []int{0, 1}})
+	single := opSeconds(&cfg, stages, 0, schedule.Op{Kind: schedule.Forward, Stage: 1, Micros: []int{0}})
+	doubled := opSeconds(&cfg, stages, 0, schedule.Op{Kind: schedule.Forward, Stage: 1, Micros: []int{0, 1}})
 	if !(doubled > single && doubled < 2*single) {
 		t.Fatalf("doubled forward %v vs single %v: want in (1x, 2x)", doubled, single)
 	}
-	full := opSeconds(&cfg, stages, schedule.Op{Kind: schedule.Backward, Stage: 1, Micros: []int{0}})
-	half := opSeconds(&cfg, stages, schedule.Op{Kind: schedule.Backward, Stage: 1, Micros: []int{0}, Half: 1})
+	full := opSeconds(&cfg, stages, 0, schedule.Op{Kind: schedule.Backward, Stage: 1, Micros: []int{0}})
+	half := opSeconds(&cfg, stages, 0, schedule.Op{Kind: schedule.Backward, Stage: 1, Micros: []int{0}, Half: 1})
 	if !(half < full && half > full/2) {
 		t.Fatalf("half backward %v vs full %v: want in (0.5x, 1x)", half, full)
 	}
