@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-serve clean
+.PHONY: all build test race lint bench bench-serve bench-fleet clean
 
 all: build lint test
 
@@ -22,10 +22,17 @@ lint:
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
 	fi
 
-# bench writes BENCH_sweep.json: serial vs parallel sweep throughput,
-# speedup, and cache hit rate (the CI-archived perf trajectory).
+# bench writes BENCH_sweep.json (serial vs parallel sweep throughput,
+# speedup, cache hit rate — the CI-archived perf trajectory) and
+# BENCH_fleet.json (its fleet section, standalone).
 bench:
-	$(GO) run ./cmd/chimera-bench -json -out BENCH_sweep.json
+	$(GO) run ./cmd/chimera-bench -json -out BENCH_sweep.json -fleet-out BENCH_fleet.json
+
+# bench-fleet runs only the multi-job cluster-allocator benchmark:
+# equal-split vs planner-guided weighted fleet throughput on the benchmark
+# mix, the trace replay, and the cross-pool determinism check.
+bench-fleet:
+	$(GO) run ./cmd/chimera-bench -fleet-only -fleet-out BENCH_fleet.json
 
 # bench-serve starts chimera-serve, drives every endpoint with the
 # closed-loop load generator, and writes BENCH_serve.json (cold/warm

@@ -24,6 +24,7 @@ import (
 
 	"chimera/internal/data"
 	"chimera/internal/engine"
+	"chimera/internal/fleet"
 	"chimera/internal/model"
 	"chimera/internal/optim"
 	"chimera/internal/perfmodel"
@@ -169,6 +170,56 @@ type (
 // (*Server).ListenAndServe (graceful shutdown on context cancel) or embed
 // (*Server).Handler in an existing mux.
 func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// Fleet planning (internal/fleet): multi-job cluster allocation on top of
+// the planner, plus a deterministic discrete-event fleet simulator.
+type (
+	// FleetRequest is one fleet-allocation problem: a cluster, the jobs
+	// competing for its nodes, and an allocation policy.
+	FleetRequest = fleet.Request
+	// FleetCluster describes the shared node pool (size, optional
+	// per-node speed factors, platform).
+	FleetCluster = fleet.Cluster
+	// FleetJob is one job asking for nodes.
+	FleetJob = fleet.Job
+	// FleetAllocation is the per-job node shares and chosen plans.
+	FleetAllocation = fleet.Allocation
+	// FleetPolicy selects the allocator.
+	FleetPolicy = fleet.Policy
+	// FleetScenario is a cluster + job vocabulary + arrival trace for the
+	// fleet simulator.
+	FleetScenario = fleet.Scenario
+	// FleetArrival is one trace event.
+	FleetArrival = fleet.Arrival
+	// FleetSimResult reports makespan, per-job waits, and utilization.
+	FleetSimResult = fleet.SimResult
+	// FleetAllocator runs repeated allocations with a shared plan memo.
+	FleetAllocator = fleet.Allocator
+)
+
+// Fleet allocation policies.
+const (
+	FleetEqualSplit    = fleet.EqualSplit
+	FleetPlannerGuided = fleet.PlannerGuided
+)
+
+// PlanFleet allocates cluster nodes across competing jobs and picks each
+// job's (W, D, B) with the §3.4 planner, maximizing Σ priority·throughput.
+// Runs on the shared engine; deterministic at any pool size.
+func PlanFleet(req FleetRequest) (*FleetAllocation, error) { return fleet.Allocate(req) }
+
+// PlanFleetOn is PlanFleet on a caller-supplied engine.
+func PlanFleetOn(e *Engine, req FleetRequest) (*FleetAllocation, error) {
+	return fleet.AllocateOn(e, req)
+}
+
+// SimulateFleet replays a job arrival/departure trace through the
+// allocator as a deterministic discrete-event simulation.
+func SimulateFleet(sc FleetScenario) (*FleetSimResult, error) { return fleet.Simulate(sc) }
+
+// NewFleetAllocator builds an allocator that reuses one plan memo across
+// many allocations (nil engine selects the shared default).
+func NewFleetAllocator(e *Engine) *FleetAllocator { return fleet.NewAllocator(e) }
 
 // Real training runtime.
 type (

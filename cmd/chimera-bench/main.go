@@ -6,7 +6,10 @@
 // With -json it instead runs the concurrent sweep-engine benchmark (serial
 // uncached reference vs the worker-pool engine on a ≥64-configuration
 // tuning grid) and writes the machine-readable result to -out (default
-// BENCH_sweep.json) for CI to archive; a summary goes to stdout.
+// BENCH_sweep.json) for CI to archive; a summary goes to stdout. The
+// result embeds a fleet section (the multi-job allocator benchmark), which
+// is additionally written alone to -fleet-out (default BENCH_fleet.json).
+// -fleet-only skips the sweep and runs just the fleet benchmark.
 package main
 
 import (
@@ -24,11 +27,19 @@ func main() {
 	train := flag.Int("train", 12, "iterations for the real-training equivalence demo")
 	jsonMode := flag.Bool("json", false, "run the sweep-engine benchmark and emit JSON instead of the figures")
 	out := flag.String("out", "BENCH_sweep.json", "output path for -json (\"-\" for stdout)")
+	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "output path for the fleet section (\"-\" for stdout; with -json, \"\" skips writing it)")
+	fleetOnly := flag.Bool("fleet-only", false, "run only the fleet benchmark (skips the sweep) and write -fleet-out")
 	passes := flag.Int("passes", 0, "grid passes for -json (0 = default)")
 	flag.Parse()
 
-	if *jsonMode {
-		if err := runSweepBench(*out, *passes); err != nil {
+	if *jsonMode || *fleetOnly {
+		var err error
+		if *fleetOnly {
+			err = runFleetBench(*fleetOut)
+		} else {
+			err = runSweepBench(*out, *fleetOut, *passes)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "chimera-bench:", err)
 			os.Exit(1)
 		}
@@ -48,22 +59,18 @@ func main() {
 	}
 }
 
-func runSweepBench(out string, passes int) error {
+func runSweepBench(out, fleetOut string, passes int) error {
 	b, err := experiments.BenchmarkSweep(passes)
 	if err != nil {
 		return err
 	}
-	raw, err := json.MarshalIndent(b, "", "  ")
-	if err != nil {
+	if err := writeJSON(out, b); err != nil {
 		return err
 	}
-	raw = append(raw, '\n')
 	if out == "-" {
-		_, err = os.Stdout.Write(raw)
-		return err
-	}
-	if err := os.WriteFile(out, raw, 0o644); err != nil {
-		return err
+		// "-" is the machine-readable contract: the JSON document alone
+		// on stdout (the fleet section is embedded in it), no summaries.
+		return nil
 	}
 	fmt.Printf("sweep benchmark: %d configs × %d passes — serial %.1f configs/s, parallel %.1f configs/s (%.2fx, %d workers, cache hit rate %.0f%%), identical ranking: %v\n",
 		b.Configs, b.Passes, b.Serial.ConfigsPerSec, b.Parallel.ConfigsPerSec,
@@ -73,5 +80,45 @@ func runSweepBench(out string, passes int) error {
 			b.Replay.MinSpeedupD16, len(b.Replay.Cases))
 	}
 	fmt.Printf("wrote %s\n", out)
+	if b.Fleet != nil && fleetOut != "" {
+		if err := writeJSON(fleetOut, b.Fleet); err != nil {
+			return err
+		}
+		if fleetOut != "-" {
+			fmt.Println(b.Fleet)
+			fmt.Printf("wrote %s\n", fleetOut)
+		}
+	}
 	return nil
+}
+
+func runFleetBench(fleetOut string) error {
+	if fleetOut == "" {
+		return fmt.Errorf("-fleet-only needs -fleet-out (\"-\" for stdout)")
+	}
+	b, err := experiments.BenchmarkFleet()
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(fleetOut, b); err != nil {
+		return err
+	}
+	if fleetOut != "-" {
+		fmt.Println(b)
+		fmt.Printf("wrote %s\n", fleetOut)
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
 }

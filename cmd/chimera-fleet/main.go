@@ -1,0 +1,114 @@
+// chimera-fleet allocates a cluster across a fleet of training jobs and —
+// when the scenario carries an arrival trace — replays it through the
+// deterministic fleet simulator.
+//
+// The scenario file is JSON (see examples/fleet/scenario.json): a cluster
+// (node count, platform preset or inline device+network, optional per-node
+// speed factors), a job list (model preset or inline config, target
+// mini-batch, priority, optional deadline), an allocation policy, and an
+// optional trace of {at, job, work} arrivals. Without -simulate the tool
+// prints the static allocation for the job list; with -simulate it replays
+// the trace and reports makespan, per-job waits, and utilization.
+//
+// With -json it emits the same wire shapes chimera-serve's /v1/fleet/plan
+// serves (one serialization path, internal/serve's codecs), so a served
+// fleet plan is byte-identical to this tool's output for the same scenario.
+//
+// Example:
+//
+//	chimera-fleet -scenario examples/fleet/scenario.json
+//	chimera-fleet -scenario examples/fleet/scenario.json -policy equal-split
+//	chimera-fleet -scenario examples/fleet/scenario.json -simulate -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chimera/internal/engine"
+	"chimera/internal/fleet"
+	"chimera/internal/serve"
+)
+
+func main() {
+	scenario := flag.String("scenario", "", "path to the JSON scenario file (required)")
+	policy := flag.String("policy", "", "override the scenario's allocation policy: "+strings.Join(fleet.Policies(), "|"))
+	simulate := flag.Bool("simulate", false, "replay the scenario's arrival trace instead of planning the static job list")
+	jsonOut := flag.Bool("json", false, "emit the /v1/fleet/plan wire format instead of the table")
+	workers := flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS, 1 = serial)")
+	flag.Parse()
+
+	if *scenario == "" {
+		fmt.Fprintln(os.Stderr, "chimera-fleet: -scenario is required (see examples/fleet/scenario.json)")
+		os.Exit(2)
+	}
+	f, err := os.Open(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var sc serve.FleetScenario
+	if err := serve.DecodeStrict(f, &sc); err != nil {
+		fatal(err)
+	}
+	if *policy != "" {
+		sc.Policy = *policy
+	}
+	resolved, err := sc.Resolve()
+	if err != nil {
+		fatal(err)
+	}
+	eng := engine.Default()
+	if *workers > 0 {
+		eng = engine.New(engine.Workers(*workers))
+	}
+	alloc := fleet.NewAllocator(eng)
+
+	if *simulate {
+		res, err := alloc.Simulate(resolved)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emit(serve.NewFleetSimResponse(res))
+			return
+		}
+		fmt.Printf("replayed %d arrivals on %d nodes under %s: makespan %.1fs, utilization %.0f%%, mean wait %.1fs (%d events, %d reallocations)\n",
+			len(res.Jobs), res.Nodes, res.Policy, res.Makespan, 100*res.Utilization, res.MeanWait, res.Events, res.Reallocations)
+		for _, run := range res.Jobs {
+			deadline := ""
+			if run.MissedDeadline {
+				deadline = "  MISSED DEADLINE"
+			}
+			fmt.Printf("  trace[%d] %-16s arrive %8.1fs  start %8.1fs  done %8.1fs  wait %6.1fs%s\n",
+				run.Trace, run.Job, run.ArriveAt, run.StartAt, run.DoneAt, run.Wait, deadline)
+		}
+		return
+	}
+
+	al, err := alloc.Allocate(fleet.Request{Cluster: resolved.Cluster, Jobs: resolved.Jobs, Policy: resolved.Policy})
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		emit(serve.NewFleetPlanResponse(al))
+		return
+	}
+	fmt.Print(al)
+}
+
+func emit(v any) {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(raw))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chimera-fleet:", err)
+	os.Exit(1)
+}

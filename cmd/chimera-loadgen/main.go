@@ -303,6 +303,14 @@ func smoke(addr string) error {
 			Platform: serve.PlatformRef{Preset: "pizdaint"}}},
 		{"/v1/analyze", serve.AnalyzeRequest{Schedule: serve.ScheduleRef{Scheme: "dapple", D: 4, N: 8}}},
 		{"/v1/render", serve.RenderRequest{Schedule: serve.ScheduleRef{Scheme: "chimera", D: 4, N: 4}, Format: "svg"}},
+		// Fleet path: two jobs competing for 8 nodes under the
+		// planner-guided default.
+		{"/v1/fleet/plan", serve.FleetPlanRequest{
+			Cluster: serve.FleetClusterRef{Nodes: 8, Platform: serve.PlatformRef{Preset: "pizdaint"}},
+			Jobs: []serve.FleetJobRef{
+				{Name: "big", Model: serve.ModelRef{Preset: "bert48"}, MiniBatch: 64, Priority: 2},
+				{Name: "small", Model: serve.ModelRef{Preset: "bert48"}, MiniBatch: 16},
+			}}},
 	}
 	for _, p := range posts {
 		status, body, err := postJSON(addr+p.path, p.body)

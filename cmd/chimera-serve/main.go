@@ -4,8 +4,8 @@
 // evaluations across every request instead of each process paying
 // cold-cache sweep costs.
 //
-// Endpoints: POST /v1/plan, /v1/simulate, /v1/analyze, /v1/render;
-// GET /v1/schedules, /v1/stats, /healthz. Heavy endpoints pass admission
+// Endpoints: POST /v1/plan, /v1/fleet/plan, /v1/simulate, /v1/analyze,
+// /v1/render; GET /v1/schedules, /v1/stats, /healthz. Heavy endpoints pass admission
 // control: beyond -max-inflight concurrent requests the server sheds with
 // 429 instead of queueing. SIGINT/SIGTERM drain in-flight work before exit.
 //
@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -49,8 +50,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("chimera-serve: listening on %s (engine workers=%d, cache capacity=%d, max inflight=%d)",
-		*addr, s.Engine().WorkerCount(), *capacity, s.MaxInflight())
+	log.Printf("chimera-serve: version %s (%s), listening on %s (engine workers=%d, cache capacity=%d, max inflight=%d)",
+		serve.BuildVersion(), runtime.Version(), *addr, s.Engine().WorkerCount(), *capacity, s.MaxInflight())
 	if err := s.ListenAndServe(ctx, *addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "chimera-serve:", err)
 		os.Exit(1)

@@ -1,0 +1,55 @@
+package chimera_test
+
+import (
+	"testing"
+
+	"chimera"
+)
+
+// TestFleetFacade: the public PlanFleet/SimulateFleet surface solves a
+// small fleet problem end to end and honors the policy constants.
+func TestFleetFacade(t *testing.T) {
+	cluster := chimera.FleetCluster{
+		Nodes:  16,
+		Device: chimera.PizDaintNode(), Network: chimera.AriesNetwork(),
+	}
+	jobs := []chimera.FleetJob{
+		{Name: "big", Model: chimera.BERT48(), MiniBatch: 256, Priority: 4},
+		{Name: "small", Model: chimera.BERT48(), MiniBatch: 32},
+	}
+	guided, err := chimera.PlanFleet(chimera.FleetRequest{Cluster: cluster, Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guided.Policy != chimera.FleetPlannerGuided {
+		t.Fatalf("default policy = %q", guided.Policy)
+	}
+	equal, err := chimera.PlanFleetOn(chimera.NewEngine(1), chimera.FleetRequest{
+		Cluster: cluster, Jobs: jobs, Policy: chimera.FleetEqualSplit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(guided.WeightedThroughput >= equal.WeightedThroughput) {
+		t.Fatalf("planner-guided %.2f below equal-split %.2f", guided.WeightedThroughput, equal.WeightedThroughput)
+	}
+	for _, al := range []*chimera.FleetAllocation{guided, equal} {
+		if len(al.Jobs) != 2 || al.Jobs[0].Job != "big" {
+			t.Fatalf("jobs out of input order: %+v", al.Jobs)
+		}
+	}
+
+	res, err := chimera.SimulateFleet(chimera.FleetScenario{
+		Cluster: cluster, Jobs: jobs,
+		Trace: []chimera.FleetArrival{
+			{At: 0, Job: "big", Work: 5000},
+			{At: 10, Job: "small", Work: 500},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 || len(res.Jobs) != 2 {
+		t.Fatalf("implausible fleet simulation: %+v", res)
+	}
+}

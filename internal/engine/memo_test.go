@@ -160,6 +160,116 @@ func TestMemoCapRaceStress(t *testing.T) {
 	}
 }
 
+// TestMemoCapacityOneThrash: the degenerate Capacity(1) table survives
+// pure thrash — two keys alternating so every access after the first two
+// misses, with exact counter accounting and never more than one resident
+// entry.
+func TestMemoCapacityOneThrash(t *testing.T) {
+	m := NewMemoCap[int, int](1)
+	const rounds = 100
+	computes := 0
+	for i := 0; i < rounds; i++ {
+		k := i % 2
+		if v := m.Do(k, func() int { computes++; return 10 + k }); v != 10+k {
+			t.Fatalf("round %d: Do(%d) = %d", i, k, v)
+		}
+		if n := m.Len(); n != 1 {
+			t.Fatalf("round %d: Len = %d, want 1", i, n)
+		}
+	}
+	// Alternating keys through capacity 1: every access misses (the other
+	// key always evicted it), so every access recomputes.
+	if computes != rounds {
+		t.Fatalf("computes = %d, want %d (every access must recompute under thrash)", computes, rounds)
+	}
+	hits, misses := m.Stats()
+	if hits != 0 || misses != rounds {
+		t.Fatalf("hits/misses = %d/%d, want 0/%d", hits, misses, rounds)
+	}
+	if ev := m.Evictions(); ev != rounds-1 {
+		t.Fatalf("evictions = %d, want %d (every insert but the last evicts)", ev, rounds-1)
+	}
+}
+
+// TestMemoEvictInFlightRaceStress: many goroutines churn a Capacity(1)
+// table with slow computations so entries are constantly evicted while
+// still in flight; under -race this doubles as a data-race probe on the
+// evict-while-computing path. Every caller must still observe its own
+// key's value.
+func TestMemoEvictInFlightRaceStress(t *testing.T) {
+	m := NewMemoCap[int, int](1)
+	const (
+		goroutines = 8
+		iters      = 200
+		keys       = 4
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (g*13 + i) % keys
+				v := m.Do(k, func() int {
+					time.Sleep(time.Microsecond) // widen the in-flight window
+					return 1000 + k
+				})
+				if v != 1000+k {
+					panic(fmt.Sprintf("key %d returned %d", k, v))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := m.Len(); n != 1 {
+		t.Fatalf("capacity 1 table holds %d entries", n)
+	}
+	if m.Evictions() == 0 {
+		t.Fatal("churning 4 keys through capacity 1 evicted nothing")
+	}
+}
+
+// TestMemoStatsExact: a scripted access sequence yields exactly the
+// documented counters — a hit is a Do that found an entry, a miss one that
+// created it, an eviction one dropped by the bound — and Reset zeroes
+// everything.
+func TestMemoStatsExact(t *testing.T) {
+	m := NewMemoCap[string, int](2)
+	seq := []struct {
+		key                   string
+		hits, misses, evicted uint64
+		entries               int
+	}{
+		{"a", 0, 1, 0, 1}, // miss: create a
+		{"a", 1, 1, 0, 1}, // hit
+		{"b", 1, 2, 0, 2}, // miss: create b
+		{"a", 2, 2, 0, 2}, // hit (a now MRU)
+		{"c", 2, 3, 1, 2}, // miss: create c, evict LRU b
+		{"b", 2, 4, 2, 2}, // miss: b was evicted; evicts a
+		{"c", 3, 4, 2, 2}, // hit: c survived
+	}
+	for i, step := range seq {
+		m.Do(step.key, func() int { return i })
+		hits, misses := m.Stats()
+		if hits != step.hits || misses != step.misses {
+			t.Fatalf("step %d (%s): hits/misses = %d/%d, want %d/%d",
+				i, step.key, hits, misses, step.hits, step.misses)
+		}
+		if ev := m.Evictions(); ev != step.evicted {
+			t.Fatalf("step %d (%s): evictions = %d, want %d", i, step.key, ev, step.evicted)
+		}
+		if n := m.Len(); n != step.entries {
+			t.Fatalf("step %d (%s): entries = %d, want %d", i, step.key, n, step.entries)
+		}
+	}
+	m.Reset()
+	hits, misses := m.Stats()
+	if hits != 0 || misses != 0 || m.Evictions() != 0 || m.Len() != 0 {
+		t.Fatalf("Reset left counters: hits=%d misses=%d evictions=%d len=%d",
+			hits, misses, m.Evictions(), m.Len())
+	}
+}
+
 // TestEngineCapacityOption: a capacity-bounded engine evaluates correctly,
 // reports evictions through Stats, and stays within its entry bound, while
 // the default engine reports Capacity 0.

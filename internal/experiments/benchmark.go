@@ -44,6 +44,12 @@ type SweepBenchmark struct {
 	// Replay benchmarks the compiled-graph replay against the retained map
 	// interpreter; CI gates Replay.MinSpeedupD16 ≥ 2×.
 	Replay *ReplayBenchmark `json:"replay"`
+
+	// Fleet benchmarks the multi-job cluster allocator; CI gates
+	// Fleet.Advantage > 1 (planner-guided strictly beats equal-split) and
+	// Fleet.Deterministic. chimera-bench also writes this section alone
+	// as BENCH_fleet.json.
+	Fleet *FleetBenchmark `json:"fleet"`
 }
 
 // SweepBenchSide is one side (serial reference or engine) of the benchmark.
@@ -141,6 +147,12 @@ func BenchmarkSweep(passes int) (*SweepBenchmark, error) {
 		return nil, err
 	}
 	b.Replay = replay
+
+	fleetBench, err := BenchmarkFleet()
+	if err != nil {
+		return nil, err
+	}
+	b.Fleet = fleetBench
 
 	b.IdenticalRanking = true
 	sr, pr := rankOutcomes(serialOuts), rankOutcomes(parallelOuts)

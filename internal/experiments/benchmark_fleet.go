@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"chimera/internal/engine"
+	"chimera/internal/fleet"
+	"chimera/internal/model"
+	"chimera/internal/serve"
+)
+
+// FleetBenchmark is the machine-readable fleet-allocation benchmark,
+// emitted by `chimera-bench -json` as BENCH_fleet.json (and embedded in
+// BENCH_sweep.json's fleet section). CI gates Advantage > 1 — the
+// planner-guided allocator must strictly beat equal-split on the benchmark
+// mix — and Deterministic, which asserts allocations and trace replays are
+// byte-identical across engine pool sizes.
+type FleetBenchmark struct {
+	// Nodes and Platform describe the benchmark cluster; Jobs the mix.
+	Nodes    int             `json:"nodes"`
+	Platform string          `json:"platform"`
+	Jobs     []FleetBenchJob `json:"jobs"`
+
+	EqualSplit    FleetBenchSide `json:"equal_split"`
+	PlannerGuided FleetBenchSide `json:"planner_guided"`
+	// Advantage is planner-guided over equal-split weighted throughput —
+	// the headline number, gated > 1 in CI.
+	Advantage float64 `json:"advantage"`
+
+	// Deterministic reports that a serial engine, a full pool, and a
+	// repeat run all produced byte-identical allocation and simulation
+	// encodings.
+	Deterministic bool `json:"deterministic"`
+
+	// Sim replays the benchmark arrival trace under both policies.
+	Sim FleetBenchSim `json:"sim"`
+
+	// PlanCacheHitRate is the fleet allocator's plan-memo hit rate over
+	// the whole benchmark — how much of the greedy search the memoization
+	// absorbs.
+	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+}
+
+// FleetBenchJob describes one job of the benchmark mix.
+type FleetBenchJob struct {
+	Name      string  `json:"name"`
+	Model     string  `json:"model"`
+	MiniBatch int     `json:"mini_batch"`
+	Priority  float64 `json:"priority"`
+}
+
+// FleetBenchSide is one policy's result on the static benchmark mix.
+type FleetBenchSide struct {
+	WeightedThroughput float64 `json:"weighted_throughput"`
+	NodesAllocated     int     `json:"nodes_allocated"`
+	NodesUsed          int     `json:"nodes_used"`
+	Seconds            float64 `json:"seconds"`
+}
+
+// FleetBenchSim is the trace-replay comparison.
+type FleetBenchSim struct {
+	Arrivals           int     `json:"arrivals"`
+	MakespanEqual      float64 `json:"makespan_equal"`
+	MakespanGuided     float64 `json:"makespan_guided"`
+	UtilizationEqual   float64 `json:"utilization_equal"`
+	UtilizationGuided  float64 `json:"utilization_guided"`
+	MeanWaitEqual      float64 `json:"mean_wait_equal"`
+	MeanWaitGuided     float64 `json:"mean_wait_guided"`
+	ReallocationsTotal int     `json:"reallocations_total"`
+}
+
+// fleetBenchJobs is the benchmark mix: skewed priorities and sizes, where
+// priority-blind equal splitting measurably wastes weighted throughput.
+func fleetBenchJobs() []fleet.Job {
+	return []fleet.Job{
+		{Name: "bert-large", Model: model.BERT48(), MiniBatch: 512, Priority: 4},
+		{Name: "bert-small", Model: model.BERT48(), MiniBatch: 64, Priority: 1},
+		{Name: "gpt2-mid", Model: model.GPT2Small32(), MiniBatch: 64, Priority: 1},
+	}
+}
+
+func fleetBenchTrace() []fleet.Arrival {
+	return []fleet.Arrival{
+		{At: 0, Job: "bert-large", Work: 100000},
+		{At: 0, Job: "gpt2-mid", Work: 20000},
+		{At: 30, Job: "bert-small", Work: 30000},
+		{At: 60, Job: "gpt2-mid", Work: 10000},
+	}
+}
+
+// BenchmarkFleet runs the fleet-allocation benchmark: both policies on the
+// benchmark mix (timed), the trace replay, and the cross-pool determinism
+// check.
+func BenchmarkFleet() (*FleetBenchmark, error) {
+	const nodes = 32
+	plat := pizDaint()
+	cluster := fleet.Cluster{Nodes: nodes, Device: plat.dev, Network: plat.net}
+	jobs := fleetBenchJobs()
+
+	b := &FleetBenchmark{Nodes: nodes, Platform: "pizdaint"}
+	for _, j := range jobs {
+		p := j.Priority
+		if p == 0 {
+			p = 1
+		}
+		b.Jobs = append(b.Jobs, FleetBenchJob{Name: j.Name, Model: j.Model.Name, MiniBatch: j.MiniBatch, Priority: p})
+	}
+
+	// Timed policy runs on a fresh allocator (cold plan memo, shared
+	// engine pool underneath).
+	alloc := fleet.NewAllocator(engine.New())
+	sides := make(map[fleet.Policy]*fleet.Allocation, 2)
+	for _, policy := range []fleet.Policy{fleet.EqualSplit, fleet.PlannerGuided} {
+		start := time.Now()
+		al, err := alloc.Allocate(fleet.Request{Cluster: cluster, Jobs: jobs, Policy: policy})
+		if err != nil {
+			return nil, err
+		}
+		side := FleetBenchSide{
+			WeightedThroughput: al.WeightedThroughput,
+			NodesAllocated:     al.NodesAllocated, NodesUsed: al.NodesUsed,
+			Seconds: time.Since(start).Seconds(),
+		}
+		if policy == fleet.EqualSplit {
+			b.EqualSplit = side
+		} else {
+			b.PlannerGuided = side
+		}
+		sides[policy] = al
+	}
+	b.Advantage = b.PlannerGuided.WeightedThroughput / b.EqualSplit.WeightedThroughput
+
+	// Trace replay under both policies on the same allocator.
+	sc := fleet.Scenario{Cluster: cluster, Jobs: jobs, Trace: fleetBenchTrace()}
+	b.Sim.Arrivals = len(sc.Trace)
+	for _, policy := range []fleet.Policy{fleet.EqualSplit, fleet.PlannerGuided} {
+		sc.Policy = policy
+		res, err := alloc.Simulate(sc)
+		if err != nil {
+			return nil, err
+		}
+		if policy == fleet.EqualSplit {
+			b.Sim.MakespanEqual, b.Sim.UtilizationEqual, b.Sim.MeanWaitEqual = res.Makespan, res.Utilization, res.MeanWait
+		} else {
+			b.Sim.MakespanGuided, b.Sim.UtilizationGuided, b.Sim.MeanWaitGuided = res.Makespan, res.Utilization, res.MeanWait
+		}
+		b.Sim.ReallocationsTotal += res.Reallocations
+	}
+	hits, misses := alloc.PlanStats()
+	if total := hits + misses; total > 0 {
+		b.PlanCacheHitRate = float64(hits) / float64(total)
+	}
+
+	// Determinism gate: a serial engine, a fresh full pool, and a repeat
+	// on the original allocator must encode byte-identically — both the
+	// allocation (through the canonical serve codec) and the replay.
+	det, err := fleetDeterministic(cluster, jobs, sides[fleet.PlannerGuided], sc)
+	if err != nil {
+		return nil, err
+	}
+	b.Deterministic = det
+	return b, nil
+}
+
+// fleetDeterministic re-runs the planner-guided allocation and the trace
+// replay on independent engines (serial and pooled) and compares canonical
+// encodings.
+func fleetDeterministic(cluster fleet.Cluster, jobs []fleet.Job, want *fleet.Allocation, sc fleet.Scenario) (bool, error) {
+	wantAl, err := json.Marshal(serve.NewFleetPlanResponse(want))
+	if err != nil {
+		return false, err
+	}
+	var wantSim []byte
+	for i, e := range []*engine.Engine{engine.New(engine.Workers(1)), engine.New()} {
+		a := fleet.NewAllocator(e)
+		al, err := a.Allocate(fleet.Request{Cluster: cluster, Jobs: jobs, Policy: fleet.PlannerGuided})
+		if err != nil {
+			return false, err
+		}
+		raw, err := json.Marshal(serve.NewFleetPlanResponse(al))
+		if err != nil {
+			return false, err
+		}
+		if !bytes.Equal(raw, wantAl) {
+			return false, nil
+		}
+		res, err := a.Simulate(sc)
+		if err != nil {
+			return false, err
+		}
+		rawSim, err := json.Marshal(serve.NewFleetSimResponse(res))
+		if err != nil {
+			return false, err
+		}
+		if i == 0 {
+			wantSim = rawSim
+		} else if !bytes.Equal(rawSim, wantSim) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// String summarizes the benchmark for chimera-bench's stdout line.
+func (b *FleetBenchmark) String() string {
+	return fmt.Sprintf("fleet benchmark: %d nodes, %d jobs — equal-split %.1f, planner-guided %.1f weighted seq/s (%.2fx), deterministic: %v",
+		b.Nodes, len(b.Jobs), b.EqualSplit.WeightedThroughput, b.PlannerGuided.WeightedThroughput, b.Advantage, b.Deterministic)
+}

@@ -104,6 +104,7 @@ func All(trainingIters int) []func() (*Report, error) {
 		AblationZeRO,
 		AblationCompression,
 		AblationHeterogeneous,
+		FleetAllocation,
 		func() (*Report, error) { return TrainingEquivalence(trainingIters) },
 		func() (*Report, error) { return ConvergenceComparison(2 * trainingIters) },
 	}

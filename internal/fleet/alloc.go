@@ -1,0 +1,331 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"chimera/internal/engine"
+	"chimera/internal/perfmodel"
+)
+
+// node is one cluster node with its straggler factor.
+type node struct {
+	ID     int
+	Factor float64
+}
+
+// JobAllocation is one job's share of the cluster and the plan chosen for
+// it.
+type JobAllocation struct {
+	// Job is the job's name; Priority its effective objective weight.
+	Job      string
+	Priority float64
+	// Nodes is how many nodes the policy assigned; NodeIDs lists them
+	// (ordered fastest first). NodesUsed = W·D of the chosen plan — a job
+	// may idle assigned nodes its best plan cannot use.
+	Nodes     int
+	NodesUsed int
+	NodeIDs   []int
+	// StragglerFactor is the speed factor of the slowest node the plan
+	// uses (1 on a homogeneous cluster): synchronous training runs at that
+	// node's pace, so Throughput = Plan.Throughput / StragglerFactor.
+	StragglerFactor float64
+	// Plan is the §3.4 selection for NodesUsed workers; nil when the
+	// job's share admits no feasible configuration (Throughput 0).
+	Plan       *perfmodel.Prediction
+	Throughput float64
+	// Weighted is Priority · Throughput, the job's term in the objective.
+	Weighted float64
+}
+
+// Allocation is the result of one fleet-allocation problem: per-job shares
+// in job input order plus the fleet-wide objective value.
+type Allocation struct {
+	Policy Policy
+	// Nodes echoes the cluster size; NodesAllocated counts nodes assigned
+	// to jobs; NodesUsed counts nodes actually driven by chosen plans.
+	Nodes          int
+	NodesAllocated int
+	NodesUsed      int
+	// WeightedThroughput is Σ priority·throughput over the jobs.
+	WeightedThroughput float64
+	Jobs               []JobAllocation
+}
+
+// Allocator runs fleet allocations on one engine, memoizing every (job, P)
+// plan it evaluates. Reuse one Allocator across allocations (the fleet
+// simulator re-allocates at every arrival/departure event) so repeated
+// candidate plans are cache hits; construct with NewAllocator.
+type Allocator struct {
+	eng *engine.Engine
+	// plans memoizes best-prediction plan outcomes keyed by the full
+	// PlanRequest — the same comparable key chimera-serve's plan cache
+	// uses. The engine underneath additionally shares schedule and
+	// critical-path memos with every other engine user.
+	plans *engine.Memo[perfmodel.PlanRequest, planResult]
+}
+
+type planResult struct {
+	pred *perfmodel.Prediction
+	err  error
+}
+
+// NewAllocator builds an allocator on e (nil selects the shared default
+// engine) with an unbounded plan memo — the right retention for batch
+// callers whose request population is bounded by their job mixes.
+func NewAllocator(e *engine.Engine) *Allocator {
+	return NewAllocatorCap(e, 0)
+}
+
+// NewAllocatorCap is NewAllocator with the plan memo bounded to capacity
+// entries under LRU eviction (capacity <= 0 = unbounded) — the policy a
+// long-running daemon needs so an endless stream of distinct fleet
+// requests cannot grow memory without limit (chimera-serve passes its
+// CacheCapacity).
+func NewAllocatorCap(e *engine.Engine, capacity int) *Allocator {
+	if e == nil {
+		e = engine.Default()
+	}
+	return &Allocator{eng: e, plans: engine.NewMemoCap[perfmodel.PlanRequest, planResult](capacity)}
+}
+
+// PlanStats reports the allocator's plan-memo hit and miss counts — how
+// much of the greedy search repeated candidate plans absorbed.
+func (a *Allocator) PlanStats() (hits, misses uint64) { return a.plans.Stats() }
+
+// Allocate solves one fleet-allocation problem on the process-wide default
+// engine.
+func Allocate(req Request) (*Allocation, error) {
+	return NewAllocator(nil).Allocate(req)
+}
+
+// AllocateOn is Allocate on a caller-supplied engine (pool size and caches
+// under the caller's control) with a throwaway plan memo; callers that
+// allocate repeatedly should hold a NewAllocator instead.
+func AllocateOn(e *engine.Engine, req Request) (*Allocation, error) {
+	return NewAllocator(e).Allocate(req)
+}
+
+// Allocate solves the request with its policy. The result is deterministic:
+// job order is input order, every selection carries a total tie-break, and
+// nothing depends on the engine's pool size.
+func (a *Allocator) Allocate(req Request) (*Allocation, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	pool := sortedPool(req.Cluster)
+	var shares [][]node
+	var err error
+	switch req.policy() {
+	case EqualSplit:
+		shares = equalSplit(pool, len(req.Jobs))
+	case PlannerGuided:
+		shares, err = a.plannerGuided(req, pool)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &Allocation{Policy: req.policy(), Nodes: req.Cluster.Nodes, Jobs: make([]JobAllocation, len(req.Jobs))}
+	for i, j := range req.Jobs {
+		v, err := a.jobValue(req.Cluster, j, shares[i])
+		if err != nil {
+			return nil, err
+		}
+		ja := JobAllocation{
+			Job: j.Name, Priority: j.priority(),
+			Nodes: len(shares[i]), NodeIDs: nodeIDs(shares[i]),
+			StragglerFactor: 1,
+		}
+		if v.pred != nil {
+			ja.Plan, ja.NodesUsed = v.pred, v.used
+			ja.StragglerFactor = v.factor
+			ja.Throughput = v.tp
+			ja.Weighted = j.priority() * v.tp
+		}
+		out.Jobs[i] = ja
+		out.NodesAllocated += ja.Nodes
+		out.NodesUsed += ja.NodesUsed
+		out.WeightedThroughput += ja.Weighted
+	}
+	return out, nil
+}
+
+// sortedPool returns the cluster's nodes ordered fastest first (factor
+// ascending, node id as the total tie-break).
+func sortedPool(c Cluster) []node {
+	pool := make([]node, c.Nodes)
+	for i := range pool {
+		f := 1.0
+		if len(c.SpeedFactors) != 0 {
+			f = c.SpeedFactors[i]
+		}
+		pool[i] = node{ID: i, Factor: f}
+	}
+	sort.SliceStable(pool, func(i, j int) bool {
+		if pool[i].Factor != pool[j].Factor {
+			return pool[i].Factor < pool[j].Factor
+		}
+		return pool[i].ID < pool[j].ID
+	})
+	return pool
+}
+
+// equalSplit hands every job the same number of node quanta (leftover
+// quanta go to the lowest-indexed jobs), carving contiguous runs of the
+// fastest-first pool in job input order.
+func equalSplit(pool []node, jobs int) [][]node {
+	quanta := len(pool) / Quantum
+	per, extra := quanta/jobs, quanta%jobs
+	shares := make([][]node, jobs)
+	next := 0
+	for i := range shares {
+		q := per
+		if i < extra {
+			q++
+		}
+		n := q * Quantum
+		shares[i] = pool[next : next+n : next+n]
+		next += n
+	}
+	return shares
+}
+
+// planBest returns the memoized best §3.4 prediction for a job on p
+// homogeneous workers; nil (no error) when p admits no feasible
+// configuration.
+func (a *Allocator) planBest(c Cluster, j Job, p int) (*perfmodel.Prediction, error) {
+	req := perfmodel.PlanRequest{
+		Model: j.Model, P: p, MiniBatch: j.MiniBatch, MaxB: j.MaxB,
+		Device: c.Device, Network: c.Network,
+	}
+	out := a.plans.Do(req, func() planResult {
+		preds, err := perfmodel.PlanOn(a.eng, req)
+		if err != nil {
+			if errors.Is(err, perfmodel.ErrInfeasible) {
+				return planResult{}
+			}
+			return planResult{err: err}
+		}
+		return planResult{pred: preds[0]}
+	})
+	return out.pred, out.err
+}
+
+// jobValue is the best achievable (plan, throughput) for a job holding the
+// given nodes: the plan may use any even prefix of the fastest-first node
+// list, paying the straggler factor of the slowest node it uses. Selection
+// is total: throughput descending, then fewer nodes used.
+type jobValue struct {
+	pred   *perfmodel.Prediction
+	used   int
+	factor float64
+	tp     float64
+}
+
+func (a *Allocator) jobValue(c Cluster, j Job, nodes []node) (jobValue, error) {
+	vals, err := a.prefixValues(c, j, nodes)
+	if err != nil {
+		return jobValue{}, err
+	}
+	return vals[len(nodes)/Quantum*Quantum], nil
+}
+
+// plannerGuided grows every job from zero nodes, repeatedly granting front
+// quanta of the fastest-first pool to the job with the best marginal
+// weighted-throughput gain *per quantum*. Because plan throughput is a step
+// function of the worker count (jumps where a new (W, D, B) becomes
+// feasible), the marginal gain of a single quantum is usually zero just
+// below a step; each round therefore considers every extension size k and
+// ranks them by gain/k — the concave-envelope greedy — granting the winner
+// exactly its k quanta. Ties break totally: higher rate, then lower job
+// index, then smaller extension. When no extension improves any job, the
+// remaining nodes stay unallocated.
+func (a *Allocator) plannerGuided(req Request, pool []node) ([][]node, error) {
+	jobs := req.Jobs
+	shares := make([][]node, len(jobs))
+	rest := pool[:len(pool)/Quantum*Quantum] // whole quanta only
+
+	for len(rest) > 0 {
+		bestJob, bestK, bestRate := -1, 0, 0.0
+		for i, j := range jobs {
+			// One pass over the job's share extended by the whole
+			// remaining pool yields its value at every candidate size.
+			vals, err := a.prefixValues(req.Cluster, j, withNodes(shares[i], rest))
+			if err != nil {
+				return nil, err
+			}
+			cur := vals[len(shares[i])].tp
+			for k := 1; k*Quantum <= len(rest); k++ {
+				gain := j.priority() * (vals[len(shares[i])+k*Quantum].tp - cur)
+				if gain <= 0 {
+					continue
+				}
+				if rate := gain / float64(k); rate > bestRate {
+					bestJob, bestK, bestRate = i, k, rate
+				}
+			}
+		}
+		if bestJob < 0 {
+			break // no extension helps anyone — leave the rest idle
+		}
+		shares[bestJob] = withNodes(shares[bestJob], rest[:bestK*Quantum])
+		rest = rest[bestK*Quantum:]
+	}
+	return shares, nil
+}
+
+// prefixValues returns, for every even prefix length m of nodes, the best
+// jobValue achievable within the first m nodes (the running maximum the
+// greedy's rate scan reads). Index by prefix length; odd entries are
+// unused.
+func (a *Allocator) prefixValues(c Cluster, j Job, nodes []node) ([]jobValue, error) {
+	vals := make([]jobValue, len(nodes)+1)
+	var best jobValue
+	for q := Quantum; q <= len(nodes); q += Quantum {
+		pred, err := a.planBest(c, j, q)
+		if err != nil {
+			return nil, err
+		}
+		if pred != nil {
+			f := nodes[q-1].Factor
+			if tp := pred.Throughput / f; best.pred == nil || tp > best.tp {
+				best = jobValue{pred: pred, used: q, factor: f, tp: tp}
+			}
+		}
+		vals[q] = best
+	}
+	return vals, nil
+}
+
+// withNodes appends extra nodes to a share without aliasing the pool slice
+// it grew from (shares of different jobs must never share backing arrays).
+func withNodes(share, extra []node) []node {
+	out := make([]node, 0, len(share)+len(extra))
+	out = append(out, share...)
+	return append(out, extra...)
+}
+
+func nodeIDs(nodes []node) []int {
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// String renders the allocation as a compact table (the chimera-fleet CLI's
+// human output).
+func (al *Allocation) String() string {
+	s := fmt.Sprintf("policy %s on %d nodes: weighted throughput %.1f (allocated %d, driving %d)\n",
+		al.Policy, al.Nodes, al.WeightedThroughput, al.NodesAllocated, al.NodesUsed)
+	for _, j := range al.Jobs {
+		if j.Plan == nil {
+			s += fmt.Sprintf("  %-16s prio %-4g nodes %-3d  infeasible in its share\n", j.Job, j.Priority, j.Nodes)
+			continue
+		}
+		s += fmt.Sprintf("  %-16s prio %-4g nodes %-3d uses %-3d W=%-3d D=%-3d B=%-3d %6.1f seq/s (×%g straggler) weighted %.1f\n",
+			j.Job, j.Priority, j.Nodes, j.NodesUsed, j.Plan.W, j.Plan.D, j.Plan.B, j.Throughput, j.StragglerFactor, j.Weighted)
+	}
+	return s
+}

@@ -18,6 +18,7 @@
 package perfmodel
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -181,6 +182,12 @@ type PlanRequest struct {
 	SpeedFactors string
 }
 
+// ErrInfeasible reports that a plan request admits no feasible (W, D, B)
+// configuration at all — every candidate fails divisibility or memory.
+// Callers searching over worker counts (the fleet allocator) match it with
+// errors.Is to distinguish "this P cannot host the job" from a real error.
+var ErrInfeasible = errors.New("no feasible configuration")
+
 // Plan enumerates feasible (W, D, B) Chimera configurations for the request
 // and returns them ranked by predicted throughput (best first). For each
 // (W, D) it greedily selects the maximum power-of-two micro-batch size that
@@ -230,7 +237,7 @@ func PlanOn(e *engine.Engine, req PlanRequest) ([]*Prediction, error) {
 		out = append(out, p)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("perfmodel: no feasible configuration for P=%d B̂=%d", req.P, req.MiniBatch)
+		return nil, fmt.Errorf("perfmodel: %w for P=%d B̂=%d", ErrInfeasible, req.P, req.MiniBatch)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

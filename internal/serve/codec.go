@@ -595,6 +595,7 @@ func NewEngineStats(workers int, st engine.Stats) EngineStatsJSON {
 // RequestCounts are per-endpoint admitted-request counters in /v1/stats.
 type RequestCounts struct {
 	Plan      uint64 `json:"plan"`
+	FleetPlan uint64 `json:"fleet_plan"`
 	Simulate  uint64 `json:"simulate"`
 	Analyze   uint64 `json:"analyze"`
 	Schedules uint64 `json:"schedules"`
@@ -614,9 +615,11 @@ type StatsResponse struct {
 	// MaxInflight is the admission-control bound on concurrently executing
 	// heavy requests.
 	MaxInflight int `json:"max_inflight"`
-	// PlanCache is the service-level memo of encoded /v1/plan responses.
-	PlanCache CacheTableJSON  `json:"plan_cache"`
-	Engine    EngineStatsJSON `json:"engine"`
+	// PlanCache is the service-level memo of encoded /v1/plan responses;
+	// FleetCache the same for /v1/fleet/plan.
+	PlanCache  CacheTableJSON  `json:"plan_cache"`
+	FleetCache CacheTableJSON  `json:"fleet_cache"`
+	Engine     EngineStatsJSON `json:"engine"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.
@@ -624,9 +627,17 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// HealthResponse is the /healthz reply.
+// HealthResponse is the /healthz reply: liveness plus the build identity
+// and uptime an operator needs to tell which binary has been running for
+// how long.
 type HealthResponse struct {
 	Status string `json:"status"`
+	// Version is the module version, refined by the VCS revision when the
+	// binary was built from a checkout (see BuildVersion).
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	// UptimeSeconds is the time since the Server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // DecodeStrict decodes JSON from r into v, rejecting unknown fields and

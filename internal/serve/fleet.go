@@ -1,0 +1,269 @@
+package serve
+
+// Fleet-planning wire types: the /v1/fleet/plan request/response codec and
+// the scenario format cmd/chimera-fleet reads. Like the rest of this
+// package there is exactly one serialization path — the CLI's -json mode
+// and the HTTP endpoint encode through the same New*Response constructors,
+// so a served fleet plan is byte-identical to encoding the in-process
+// chimera.PlanFleet result.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"chimera/internal/fleet"
+)
+
+// MaxFleetJobs bounds a fleet request's job list (the fleet package
+// enforces the same bound; re-exported so the wire contract names it).
+const MaxFleetJobs = fleet.MaxJobs
+
+// FleetClusterRef describes the shared node pool on the wire.
+type FleetClusterRef struct {
+	// Nodes is the cluster size.
+	Nodes int `json:"nodes"`
+	// SpeedFactors, when present, gives node i's compute-time multiplier
+	// (1 = nominal); length must equal nodes.
+	SpeedFactors []float64   `json:"speed_factors,omitempty"`
+	Platform     PlatformRef `json:"platform"`
+}
+
+// FleetJobRef is one job competing for nodes.
+type FleetJobRef struct {
+	Name  string   `json:"name"`
+	Model ModelRef `json:"model"`
+	// MiniBatch is the job's target mini-batch size B̂.
+	MiniBatch int `json:"mini_batch"`
+	// Priority weights the job in the fleet objective (default 1).
+	Priority float64 `json:"priority,omitempty"`
+	// Deadline is the job's completion deadline in seconds after arrival
+	// (simulation only; 0 = none).
+	Deadline float64 `json:"deadline,omitempty"`
+	// MaxB caps the job's greedy micro-batch search (default 64).
+	MaxB int `json:"max_b,omitempty"`
+}
+
+// FleetPlanRequest is the /v1/fleet/plan body: one fleet-allocation
+// problem.
+type FleetPlanRequest struct {
+	Cluster FleetClusterRef `json:"cluster"`
+	Jobs    []FleetJobRef   `json:"jobs"`
+	// Policy: planner-guided (default) | equal-split.
+	Policy string `json:"policy,omitempty"`
+}
+
+// FleetArrivalRef is one trace event of a fleet scenario.
+type FleetArrivalRef struct {
+	// At is the arrival time in seconds.
+	At float64 `json:"at"`
+	// Job names an entry of the scenario's job list.
+	Job string `json:"job"`
+	// Work is the number of sequences the instance processes before
+	// departing.
+	Work float64 `json:"work"`
+}
+
+// FleetScenario is the chimera-fleet scenario file format: a plan request
+// plus an optional arrival trace for the fleet simulator.
+type FleetScenario struct {
+	Cluster FleetClusterRef   `json:"cluster"`
+	Jobs    []FleetJobRef     `json:"jobs"`
+	Policy  string            `json:"policy,omitempty"`
+	Trace   []FleetArrivalRef `json:"trace,omitempty"`
+}
+
+// resolveFleetPolicy maps the wire policy name onto the fleet package's.
+func resolveFleetPolicy(p string) (fleet.Policy, error) {
+	switch p {
+	case "":
+		return fleet.PlannerGuided, nil
+	case string(fleet.PlannerGuided), string(fleet.EqualSplit):
+		return fleet.Policy(p), nil
+	default:
+		return "", fmt.Errorf("fleet: unknown policy %q (have %s)", p, strings.Join(fleet.Policies(), ", "))
+	}
+}
+
+// Resolve validates the request into a fleet.Request.
+func (r FleetPlanRequest) Resolve() (fleet.Request, error) {
+	var out fleet.Request
+	if r.Cluster.Nodes < 2 || r.Cluster.Nodes > MaxWorkers {
+		return out, fmt.Errorf("fleet: cluster nodes must be in [2, %d], got %d", MaxWorkers, r.Cluster.Nodes)
+	}
+	dev, net, err := r.Cluster.Platform.Resolve()
+	if err != nil {
+		return out, err
+	}
+	if n := len(r.Cluster.SpeedFactors); n != 0 {
+		if n != r.Cluster.Nodes {
+			return out, fmt.Errorf("fleet: speed_factors has %d entries, cluster has %d nodes (lengths must match)",
+				n, r.Cluster.Nodes)
+		}
+		if err := validateSpeedFactors("fleet", r.Cluster.SpeedFactors, 0); err != nil {
+			return out, err
+		}
+	}
+	if len(r.Jobs) == 0 {
+		return out, fmt.Errorf("fleet: jobs list is empty")
+	}
+	if len(r.Jobs) > MaxFleetJobs {
+		return out, fmt.Errorf("fleet: %d jobs exceed the limit %d", len(r.Jobs), MaxFleetJobs)
+	}
+	jobs := make([]fleet.Job, len(r.Jobs))
+	for i, j := range r.Jobs {
+		if j.Name == "" {
+			return out, fmt.Errorf("fleet: jobs[%d] has no name", i)
+		}
+		m, err := j.Model.Resolve()
+		if err != nil {
+			return out, fmt.Errorf("fleet: job %q: %w", j.Name, err)
+		}
+		if j.MiniBatch < 1 || j.MiniBatch > MaxMiniBatch {
+			return out, fmt.Errorf("fleet: job %q mini_batch must be in [1, %d], got %d", j.Name, MaxMiniBatch, j.MiniBatch)
+		}
+		if j.MaxB < 0 || j.MaxB > MaxMiniBatch {
+			return out, fmt.Errorf("fleet: job %q max_b must be in [0, %d], got %d", j.Name, MaxMiniBatch, j.MaxB)
+		}
+		if j.Priority < 0 || math.IsNaN(j.Priority) || math.IsInf(j.Priority, 0) {
+			return out, fmt.Errorf("fleet: job %q priority must be finite and ≥ 0, got %g", j.Name, j.Priority)
+		}
+		if j.Deadline < 0 || math.IsNaN(j.Deadline) || math.IsInf(j.Deadline, 0) {
+			return out, fmt.Errorf("fleet: job %q deadline must be finite and ≥ 0, got %g", j.Name, j.Deadline)
+		}
+		jobs[i] = fleet.Job{
+			Name: j.Name, Model: m, MiniBatch: j.MiniBatch,
+			Priority: j.Priority, Deadline: j.Deadline, MaxB: j.MaxB,
+		}
+	}
+	policy, err := resolveFleetPolicy(r.Policy)
+	if err != nil {
+		return out, err
+	}
+	out = fleet.Request{
+		Cluster: fleet.Cluster{
+			Nodes: r.Cluster.Nodes, SpeedFactors: r.Cluster.SpeedFactors,
+			Device: dev, Network: net,
+		},
+		Jobs: jobs, Policy: policy,
+	}
+	// The fleet package re-checks its own invariants; running them here
+	// keeps every rejection a 400 with the field named.
+	if err := out.Validate(); err != nil {
+		return fleet.Request{}, err
+	}
+	return out, nil
+}
+
+// Resolve validates the scenario into a fleet.Scenario (trace included).
+func (s FleetScenario) Resolve() (fleet.Scenario, error) {
+	req, err := FleetPlanRequest{Cluster: s.Cluster, Jobs: s.Jobs, Policy: s.Policy}.Resolve()
+	if err != nil {
+		return fleet.Scenario{}, err
+	}
+	trace := make([]fleet.Arrival, len(s.Trace))
+	for i, ev := range s.Trace {
+		trace[i] = fleet.Arrival{At: ev.At, Job: ev.Job, Work: ev.Work}
+	}
+	return fleet.Scenario{Cluster: req.Cluster, Jobs: req.Jobs, Policy: req.Policy, Trace: trace}, nil
+}
+
+// FleetJobAllocationJSON is one job's share on the wire.
+type FleetJobAllocationJSON struct {
+	Job      string  `json:"job"`
+	Priority float64 `json:"priority"`
+	// Nodes is the assigned node count; NodesUsed = W·D of the chosen
+	// plan; NodeIDs the assigned nodes, fastest first.
+	Nodes     int   `json:"nodes"`
+	NodesUsed int   `json:"nodes_used"`
+	NodeIDs   []int `json:"node_ids"`
+	// StragglerFactor is the slowest used node's speed factor; the plan's
+	// homogeneous throughput is divided by it.
+	StragglerFactor float64 `json:"straggler_factor"`
+	// Plan is the §3.4 selection (absent when the share is infeasible).
+	Plan               *PredictionJSON `json:"plan,omitempty"`
+	Throughput         float64         `json:"throughput"`
+	WeightedThroughput float64         `json:"weighted_throughput"`
+}
+
+// FleetPlanResponse is the /v1/fleet/plan reply (and chimera-fleet -json
+// output): per-job shares in input order plus the fleet objective.
+type FleetPlanResponse struct {
+	Policy             string                   `json:"policy"`
+	Nodes              int                      `json:"nodes"`
+	NodesAllocated     int                      `json:"nodes_allocated"`
+	NodesUsed          int                      `json:"nodes_used"`
+	WeightedThroughput float64                  `json:"weighted_throughput"`
+	Jobs               []FleetJobAllocationJSON `json:"jobs"`
+}
+
+// NewFleetPlanResponse encodes an allocation. The same function backs the
+// service and chimera-fleet -json, so both emit identical bytes.
+func NewFleetPlanResponse(a *fleet.Allocation) FleetPlanResponse {
+	out := FleetPlanResponse{
+		Policy: string(a.Policy), Nodes: a.Nodes,
+		NodesAllocated: a.NodesAllocated, NodesUsed: a.NodesUsed,
+		WeightedThroughput: a.WeightedThroughput,
+		Jobs:               make([]FleetJobAllocationJSON, len(a.Jobs)),
+	}
+	for i, j := range a.Jobs {
+		ja := FleetJobAllocationJSON{
+			Job: j.Job, Priority: j.Priority,
+			Nodes: j.Nodes, NodesUsed: j.NodesUsed, NodeIDs: j.NodeIDs,
+			StragglerFactor:    j.StragglerFactor,
+			Throughput:         j.Throughput,
+			WeightedThroughput: j.Weighted,
+		}
+		if j.Plan != nil {
+			ja.Plan = &PredictionJSON{
+				W: j.Plan.W, D: j.Plan.D, B: j.Plan.B, N: j.Plan.N, Recompute: j.Plan.Recompute,
+				Cf: j.Plan.Cf, Cb: j.Plan.Cb, IterTime: j.Plan.IterTime, Throughput: j.Plan.Throughput,
+			}
+		}
+		out.Jobs[i] = ja
+	}
+	return out
+}
+
+// FleetJobRunJSON is one trace arrival's fate on the wire.
+type FleetJobRunJSON struct {
+	Job            string  `json:"job"`
+	Trace          int     `json:"trace"`
+	ArriveAt       float64 `json:"arrive_at"`
+	StartAt        float64 `json:"start_at"`
+	DoneAt         float64 `json:"done_at"`
+	Wait           float64 `json:"wait"`
+	MissedDeadline bool    `json:"missed_deadline"`
+}
+
+// FleetSimResponse is chimera-fleet -json's simulation output.
+type FleetSimResponse struct {
+	Policy        string            `json:"policy"`
+	Nodes         int               `json:"nodes"`
+	Makespan      float64           `json:"makespan"`
+	Utilization   float64           `json:"utilization"`
+	MeanWait      float64           `json:"mean_wait"`
+	Events        int               `json:"events"`
+	Reallocations int               `json:"reallocations"`
+	Jobs          []FleetJobRunJSON `json:"jobs"`
+}
+
+// NewFleetSimResponse encodes a fleet simulation result.
+func NewFleetSimResponse(r *fleet.SimResult) FleetSimResponse {
+	out := FleetSimResponse{
+		Policy: string(r.Policy), Nodes: r.Nodes,
+		Makespan: r.Makespan, Utilization: r.Utilization, MeanWait: r.MeanWait,
+		Events: r.Events, Reallocations: r.Reallocations,
+		Jobs: make([]FleetJobRunJSON, len(r.Jobs)),
+	}
+	for i, j := range r.Jobs {
+		out.Jobs[i] = FleetJobRunJSON{
+			Job: j.Job, Trace: j.Trace, ArriveAt: j.ArriveAt, StartAt: j.StartAt,
+			DoneAt: j.DoneAt, Wait: j.Wait, MissedDeadline: j.MissedDeadline,
+		}
+	}
+	return out
+}
+
+// FleetPolicies lists the allocation policy names the service accepts.
+func FleetPolicies() []string { return fleet.Policies() }

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"chimera/internal/engine"
+	"chimera/internal/fleet"
+)
+
+const fleetBody = `{"cluster":{"nodes":16,"platform":{"preset":"pizdaint"}},` +
+	`"jobs":[{"name":"big","model":{"preset":"bert48"},"mini_batch":256,"priority":4},` +
+	`{"name":"small","model":{"preset":"bert48"},"mini_batch":32}]}`
+
+// TestFleetPlanMatchesInProcess: the served /v1/fleet/plan body must be
+// byte-identical to encoding an in-process allocation through the same
+// codec — the acceptance gate of the fleet subsystem.
+func TestFleetPlanMatchesInProcess(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := post(t, ts, "/v1/fleet/plan", fleetBody)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+
+	var req FleetPlanRequest
+	if err := DecodeStrict(strings.NewReader(fleetBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	freq, err := req.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := fleet.AllocateOn(engine.New(engine.Workers(1)), freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(NewFleetPlanResponse(al))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("served fleet plan differs from in-process allocation:\nserved: %s\nlocal:  %s", body, want)
+	}
+}
+
+// TestFleetPlanCached: repeating one fleet request is absorbed by the
+// response cache (single miss) and replays identical bytes.
+func TestFleetPlanCached(t *testing.T) {
+	srv, ts := newTestServer(t, Config{CacheCapacity: 64})
+	_, b1 := post(t, ts, "/v1/fleet/plan", fleetBody)
+	_, b2 := post(t, ts, "/v1/fleet/plan", fleetBody)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("repeated fleet plan produced different bytes")
+	}
+	st := srv.Snapshot()
+	if st.FleetCache.Misses != 1 || st.FleetCache.Hits != 1 {
+		t.Fatalf("fleet_cache = %+v, want 1 miss / 1 hit", st.FleetCache)
+	}
+	if st.Requests.FleetPlan != 2 {
+		t.Fatalf("fleet_plan counter = %d, want 2", st.Requests.FleetPlan)
+	}
+}
+
+// TestFleetPlanPolicyHonored: explicit policies produce different
+// allocations on a priority-skewed mix, and the planner-guided default
+// equals asking for it by name.
+func TestFleetPlanPolicyHonored(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	withPolicy := func(p string) []byte {
+		body := fleetBody
+		if p != "" {
+			body = strings.TrimSuffix(body, "}") + `,"policy":"` + p + `"}`
+		}
+		status, raw := post(t, ts, "/v1/fleet/plan", body)
+		if status != http.StatusOK {
+			t.Fatalf("policy %q: status %d: %s", p, status, raw)
+		}
+		return raw
+	}
+	def, guided, equal := withPolicy(""), withPolicy("planner-guided"), withPolicy("equal-split")
+	if !bytes.Equal(def, guided) {
+		t.Fatal("default policy is not planner-guided")
+	}
+	var g, e FleetPlanResponse
+	if err := json.Unmarshal(guided, &g); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(equal, &e); err != nil {
+		t.Fatal(err)
+	}
+	if g.Policy != "planner-guided" || e.Policy != "equal-split" {
+		t.Fatalf("policies echoed wrong: %q / %q", g.Policy, e.Policy)
+	}
+	if !(g.WeightedThroughput > e.WeightedThroughput) {
+		t.Fatalf("planner-guided %.2f not above equal-split %.2f on a priority-skewed mix",
+			g.WeightedThroughput, e.WeightedThroughput)
+	}
+}
+
+// TestFleetPlanRejections: the strict codec rejects malformed fleet
+// requests with 400, including trailing garbage after the JSON object.
+func TestFleetPlanRejections(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+	}{
+		{"trailing-garbage", fleetBody + `garbage`},
+		{"trailing-object", fleetBody + `{"again":true}`},
+		{"unknown-field", strings.TrimSuffix(fleetBody, "}") + `,"bogus":1}`},
+		{"no-jobs", `{"cluster":{"nodes":16,"platform":{"preset":"pizdaint"}},"jobs":[]}`},
+		{"unnamed-job", `{"cluster":{"nodes":16,"platform":{"preset":"pizdaint"}},"jobs":[{"model":{"preset":"bert48"},"mini_batch":32}]}`},
+		{"dup-job", `{"cluster":{"nodes":16,"platform":{"preset":"pizdaint"}},"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32},{"name":"a","model":{"preset":"bert48"},"mini_batch":32}]}`},
+		{"bad-policy", strings.TrimSuffix(fleetBody, "}") + `,"policy":"fifo"}`},
+		{"tiny-cluster", `{"cluster":{"nodes":1,"platform":{"preset":"pizdaint"}},"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32}]}`},
+		{"huge-cluster", `{"cluster":{"nodes":1000000000,"platform":{"preset":"pizdaint"}},"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32}]}`},
+		{"missing-platform", `{"cluster":{"nodes":16},"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32}]}`},
+		{"unknown-model", `{"cluster":{"nodes":16,"platform":{"preset":"pizdaint"}},"jobs":[{"name":"a","model":{"preset":"bert9000"},"mini_batch":32}]}`},
+		{"bad-minibatch", `{"cluster":{"nodes":16,"platform":{"preset":"pizdaint"}},"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":0}]}`},
+		{"negative-priority", `{"cluster":{"nodes":16,"platform":{"preset":"pizdaint"}},"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32,"priority":-1}]}`},
+		{"factor-length", `{"cluster":{"nodes":16,"speed_factors":[1,2],"platform":{"preset":"pizdaint"}},"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32}]}`},
+	}
+	for _, tc := range cases {
+		status, body := post(t, ts, "/v1/fleet/plan", tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400), body %s", tc.name, status, body)
+			continue
+		}
+		var e ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: non-JSON error body %s", tc.name, body)
+		}
+	}
+	if got := srv.Snapshot().ClientErrors; got != uint64(len(cases)) {
+		t.Fatalf("client_errors = %d, want %d", got, len(cases))
+	}
+}
+
+// TestFleetScenarioResolve: the CLI scenario format resolves jobs, policy
+// and trace; the /v1/fleet/plan endpoint (no trace field) rejects traces.
+func TestFleetScenarioResolve(t *testing.T) {
+	body := strings.TrimSuffix(fleetBody, "}") +
+		`,"trace":[{"at":0,"job":"big","work":1000},{"at":5,"job":"small","work":100}]}`
+	var sc FleetScenario
+	if err := DecodeStrict(strings.NewReader(body), &sc); err != nil {
+		t.Fatal(err)
+	}
+	resolved, err := sc.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resolved.Trace) != 2 || resolved.Trace[1].Job != "small" || resolved.Policy != fleet.PlannerGuided {
+		t.Fatalf("scenario resolved wrong: %+v", resolved)
+	}
+	if _, err := fleet.Simulate(resolved); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{})
+	status, raw := post(t, ts, "/v1/fleet/plan", body)
+	if status != http.StatusBadRequest || !bytes.Contains(raw, []byte("trace")) {
+		t.Fatalf("endpoint accepted a trace: %d %s", status, raw)
+	}
+}
+
+// TestFleetHeterogeneousCluster: per-node speed factors flow through the
+// wire into straggler-aware allocations.
+func TestFleetHeterogeneousCluster(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"cluster":{"nodes":8,"speed_factors":[1,1,1,1,1,1,2,2],"platform":{"preset":"pizdaint"}},` +
+		`"jobs":[{"name":"solo","model":{"preset":"bert48"},"mini_batch":64}]}`
+	status, raw := post(t, ts, "/v1/fleet/plan", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	var resp FleetPlanResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	j := resp.Jobs[0]
+	if j.Plan == nil {
+		t.Fatal("no plan for the solo job")
+	}
+	// Fastest-first assignment: the ×2 nodes (ids 6, 7) must be the last
+	// assigned, and the straggler factor reflects the slowest used node.
+	if j.StragglerFactor != 1 && j.StragglerFactor != 2 {
+		t.Fatalf("implausible straggler factor %g", j.StragglerFactor)
+	}
+	if j.Throughput*j.StragglerFactor != j.Plan.Throughput {
+		t.Fatalf("throughput %.4f × factor %g != plan throughput %.4f",
+			j.Throughput, j.StragglerFactor, j.Plan.Throughput)
+	}
+}

@@ -197,6 +197,26 @@ func TestSchedulesAndHealth(t *testing.T) {
 	if status != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
 		t.Fatalf("healthz %d: %s", status, body)
 	}
+	// /healthz carries build identity and uptime alongside liveness.
+	var h HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Version == "" || !strings.HasPrefix(h.GoVersion, "go") {
+		t.Fatalf("healthz missing build identity: %+v", h)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime %g", h.UptimeSeconds)
+	}
+	time.Sleep(10 * time.Millisecond)
+	_, body = get(t, ts, "/healthz")
+	var h2 HealthResponse
+	if err := json.Unmarshal(body, &h2); err != nil {
+		t.Fatal(err)
+	}
+	if !(h2.UptimeSeconds > h.UptimeSeconds) {
+		t.Fatalf("uptime did not advance: %g then %g", h.UptimeSeconds, h2.UptimeSeconds)
+	}
 }
 
 // TestStrictValidation: malformed requests are rejected with 400 and a JSON
@@ -254,13 +274,45 @@ func TestStrictValidation(t *testing.T) {
 }
 
 // TestOversizedBodyRejected: request bodies beyond the 1 MiB cap are
-// refused instead of buffered.
+// refused instead of buffered, on every heavy POST endpoint.
 func TestOversizedBodyRejected(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	big := `{"model":{"preset":"bert48","name":"` + strings.Repeat("x", 2<<20) + `"}}`
-	status, _ := post(t, ts, "/v1/plan", big)
-	if status == http.StatusOK {
-		t.Fatal("2 MiB body accepted")
+	for _, path := range []string{"/v1/plan", "/v1/simulate", "/v1/fleet/plan"} {
+		status, _ := post(t, ts, path, big)
+		if status == http.StatusOK {
+			t.Errorf("%s: 2 MiB body accepted", path)
+		}
+	}
+	// A valid simulate request padded past the cap with trailing spaces:
+	// the decoder must stop at the limit, not buffer the rest.
+	simBody := `{"model":{"preset":"bert48"},"schedule":{"scheme":"chimera","d":4,"n":4},
+		"micro_batch":4,"w":4,"platform":{"preset":"pizdaint"}}` + strings.Repeat(" ", 2<<20)
+	if status, _ := post(t, ts, "/v1/simulate", simBody); status == http.StatusOK {
+		t.Error("/v1/simulate: oversized (padded) body accepted")
+	}
+}
+
+// TestSpeedFactorsAtExactBounds: the documented bounds are inclusive — a
+// factor of exactly 1e-6 or 1e6 must be accepted by /v1/simulate, while
+// values one notch beyond stay rejected.
+func TestSpeedFactorsAtExactBounds(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mk := func(factors string) string {
+		return `{"model":{"preset":"bert48"},"schedule":{"scheme":"chimera","d":4,"n":4},
+			"micro_batch":4,"w":4,"auto_recompute":true,"speed_factors":` + factors + `,"platform":{"preset":"pizdaint"}}`
+	}
+	for _, ok := range []string{`[1e-6,1,1,1]`, `[1,1,1,1e6]`, `[1e-6,1,1,1e6]`} {
+		status, body := post(t, ts, "/v1/simulate", mk(ok))
+		if status != http.StatusOK {
+			t.Errorf("factors %s at the exact bounds rejected: %d %s", ok, status, body)
+		}
+	}
+	for _, bad := range []string{`[9.999999e-7,1,1,1]`, `[1,1,1,1.0000001e6]`} {
+		status, body := post(t, ts, "/v1/simulate", mk(bad))
+		if status != http.StatusBadRequest {
+			t.Errorf("factors %s beyond the bounds accepted: %d %s", bad, status, body)
+		}
 	}
 }
 

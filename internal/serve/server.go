@@ -6,10 +6,12 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
 	"chimera/internal/engine"
+	"chimera/internal/fleet"
 	"chimera/internal/perfmodel"
 	"chimera/internal/schedule"
 	"chimera/internal/trace"
@@ -54,8 +56,21 @@ type Server struct {
 	// by the same CacheCapacity as the engine tables.
 	planCache *engine.Memo[perfmodel.PlanRequest, planOutcome]
 
-	plan, simulate, analyze, schedules, render, health, stats atomic.Uint64
-	shed, clientErrors, serverErrors                          atomic.Uint64
+	// fleetCache is planCache for /v1/fleet/plan. A fleet.Request holds
+	// slices, so it cannot itself be a comparable memo key; the key is its
+	// canonical JSON encoding (field order is fixed by the struct, so
+	// equal resolved requests encode to equal bytes).
+	fleetCache *engine.Memo[string, planOutcome]
+
+	// allocator carries the fleet allocator's plan memo across requests
+	// (it shares the server's engine underneath).
+	allocator *fleet.Allocator
+
+	// started anchors /healthz's uptime report.
+	started time.Time
+
+	plan, fleetPlan, simulate, analyze, schedules, render, health, stats atomic.Uint64
+	shed, clientErrors, serverErrors                                     atomic.Uint64
 }
 
 // planOutcome is one cached plan: exactly one of body and err is set.
@@ -91,9 +106,13 @@ func New(cfg Config) *Server {
 		maxInflight:  maxInflight,
 		drainTimeout: drain,
 		planCache:    engine.NewMemoCap[perfmodel.PlanRequest, planOutcome](cfg.CacheCapacity),
+		fleetCache:   engine.NewMemoCap[string, planOutcome](cfg.CacheCapacity),
+		allocator:    fleet.NewAllocatorCap(eng, cfg.CacheCapacity),
+		started:      time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.admitted(s.handlePlan))
+	mux.HandleFunc("POST /v1/fleet/plan", s.admitted(s.handleFleetPlan))
 	mux.HandleFunc("POST /v1/simulate", s.admitted(s.handleSimulate))
 	mux.HandleFunc("POST /v1/analyze", s.admitted(s.handleAnalyze))
 	mux.HandleFunc("POST /v1/render", s.admitted(s.handleRender))
@@ -226,6 +245,44 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	w.Write(out.body)
 }
 
+func (s *Server) handleFleetPlan(w http.ResponseWriter, r *http.Request) {
+	s.fleetPlan.Add(1)
+	var req FleetPlanRequest
+	if err := DecodeStrict(r.Body, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	freq, err := req.Resolve()
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	key, err := json.Marshal(freq)
+	if err != nil {
+		s.serverErrors.Add(1)
+		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "encoding failure"})
+		return
+	}
+	out := s.fleetCache.Do(string(key), func() planOutcome {
+		al, err := s.allocator.Allocate(freq)
+		if err != nil {
+			return planOutcome{err: err}
+		}
+		raw, err := json.Marshal(NewFleetPlanResponse(al))
+		if err != nil {
+			return planOutcome{err: err}
+		}
+		return planOutcome{body: raw}
+	})
+	if out.err != nil {
+		s.unprocessable(w, out.err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(out.body)
+}
+
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.simulate.Add(1)
 	var req SimulateRequest
@@ -338,14 +395,51 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.health.Add(1)
-	s.writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Version:       BuildVersion(),
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+// BuildVersion reports the binary's build identity for /healthz and the
+// daemon's startup log: the main module version when stamped, refined by
+// the VCS revision when the binary was built from a checkout.
+func BuildVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := info.Main.Version
+	if v == "" {
+		v = "unknown"
+	}
+	var rev, dirty string
+	for _, set := range info.Settings {
+		switch set.Key {
+		case "vcs.revision":
+			rev = set.Value
+		case "vcs.modified":
+			if set.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return v + " (" + rev + dirty + ")"
+	}
+	return v
 }
 
 // Snapshot returns the current service counters (what /v1/stats serves).
 func (s *Server) Snapshot() StatsResponse {
 	return StatsResponse{
 		Requests: RequestCounts{
-			Plan: s.plan.Load(), Simulate: s.simulate.Load(),
+			Plan: s.plan.Load(), FleetPlan: s.fleetPlan.Load(), Simulate: s.simulate.Load(),
 			Analyze: s.analyze.Load(), Schedules: s.schedules.Load(),
 			Render: s.render.Load(), Health: s.health.Load(), Stats: s.stats.Load(),
 		},
@@ -353,12 +447,13 @@ func (s *Server) Snapshot() StatsResponse {
 		ClientErrors: s.clientErrors.Load(),
 		ServerErrors: s.serverErrors.Load(),
 		MaxInflight:  s.maxInflight,
-		PlanCache:    planCacheStats(s.planCache),
+		PlanCache:    memoStats(s.planCache),
+		FleetCache:   memoStats(s.fleetCache),
 		Engine:       NewEngineStats(s.eng.WorkerCount(), s.eng.Stats()),
 	}
 }
 
-func planCacheStats(m *engine.Memo[perfmodel.PlanRequest, planOutcome]) CacheTableJSON {
+func memoStats[K comparable](m *engine.Memo[K, planOutcome]) CacheTableJSON {
 	hits, misses := m.Stats()
 	return CacheTableJSON{Hits: hits, Misses: misses, Evictions: m.Evictions(), Entries: m.Len()}
 }
