@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-serve bench-fleet clean
+.PHONY: all build test race lint bench bench-serve bench-fleet fuzz cover clean
 
 all: build lint test
 
@@ -46,5 +46,17 @@ bench-serve:
 	trap 'kill $$pid 2>/dev/null' EXIT; \
 	./bin/chimera-loadgen -addr http://127.0.0.1:8642 -out BENCH_serve.json
 
+# fuzz explores beyond the committed seed corpora (testdata/fuzz replays on
+# every plain `go test`) for a bounded time per target, mirroring CI.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz=FuzzGraphReplayEquivalence -fuzztime=$(FUZZTIME) -run '^$$' ./internal/schedule/
+	$(GO) test -fuzz=FuzzDecodeSpeedFactors -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sim/
+
+# cover writes the per-function coverage summary CI archives.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tee coverage.txt
+
 clean:
-	rm -rf bin
+	rm -rf bin coverage.out coverage.txt

@@ -195,12 +195,35 @@ type (
 	FleetSimResult = fleet.SimResult
 	// FleetAllocator runs repeated allocations with a shared plan memo.
 	FleetAllocator = fleet.Allocator
+	// FleetEvent is one elastic-trace event: a job arrival or node churn
+	// (fail/drain/join).
+	FleetEvent = fleet.Event
+	// FleetEventKind names an elastic event type.
+	FleetEventKind = fleet.EventKind
+	// FleetElasticScenario is a cluster + job vocabulary + churn-bearing
+	// event trace for the elastic fleet simulator.
+	FleetElasticScenario = fleet.ElasticScenario
+	// FleetElasticResult reports the elastic replay: makespan, churn and
+	// migration counters, the pinned event log, and the final allocation.
+	FleetElasticResult = fleet.ElasticResult
+	// FleetReplanMode selects incremental or full re-planning on events.
+	FleetReplanMode = fleet.ReplanMode
 )
 
 // Fleet allocation policies.
 const (
 	FleetEqualSplit    = fleet.EqualSplit
 	FleetPlannerGuided = fleet.PlannerGuided
+)
+
+// Elastic-trace event kinds and re-plan modes.
+const (
+	FleetArrivalEvent      = fleet.EvArrival
+	FleetNodeFail          = fleet.EvNodeFail
+	FleetNodeDrain         = fleet.EvNodeDrain
+	FleetNodeJoin          = fleet.EvNodeJoin
+	FleetReplanIncremental = fleet.ReplanIncremental
+	FleetReplanFull        = fleet.ReplanFull
 )
 
 // PlanFleet allocates cluster nodes across competing jobs and picks each
@@ -216,6 +239,14 @@ func PlanFleetOn(e *Engine, req FleetRequest) (*FleetAllocation, error) {
 // SimulateFleet replays a job arrival/departure trace through the
 // allocator as a deterministic discrete-event simulation.
 func SimulateFleet(sc FleetScenario) (*FleetSimResult, error) { return fleet.Simulate(sc) }
+
+// SimulateFleetElastic replays an elastic trace — arrivals plus node
+// failures, drains, and joins — re-planning incrementally on every event
+// with migration-cost-aware preemption and deadline-aware priority aging.
+// Bit-deterministic at any engine pool size.
+func SimulateFleetElastic(sc FleetElasticScenario) (*FleetElasticResult, error) {
+	return fleet.SimulateElastic(sc)
+}
 
 // NewFleetAllocator builds an allocator that reuses one plan memo across
 // many allocations (nil engine selects the shared default).

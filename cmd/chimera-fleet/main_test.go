@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the chimera-fleet golden files from current output")
+
+// golden drives run() with the given arguments and compares its stdout
+// against the committed golden file; -update regenerates the files after an
+// intentional output change (mirroring the trace SVG golden pattern).
+func golden(t *testing.T, name string, args ...string) {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/chimera-fleet -update` once): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("output drifted from golden %s.\nIf the change is intentional, regenerate with -update.\ngot:\n%s", path, out.Bytes())
+	}
+}
+
+// TestGoldenScenarioPlanJSON pins chimera-fleet -json on the committed
+// example scenario byte-for-byte — the CLI side of the "one serialization
+// path" contract with /v1/fleet/plan.
+func TestGoldenScenarioPlanJSON(t *testing.T) {
+	golden(t, "scenario_plan.json",
+		"-scenario", "../../examples/fleet/scenario.json", "-json", "-workers", "1")
+}
+
+// TestGoldenScenarioSimJSON pins the classic trace replay of the example
+// scenario.
+func TestGoldenScenarioSimJSON(t *testing.T) {
+	golden(t, "scenario_sim.json",
+		"-scenario", "../../examples/fleet/scenario.json", "-simulate", "-json", "-workers", "1")
+}
+
+// TestGoldenElasticSimJSON pins the elastic churn replay of the committed
+// elastic example, including the event log's total order.
+func TestGoldenElasticSimJSON(t *testing.T) {
+	golden(t, "elastic_sim.json",
+		"-scenario", "../../examples/fleet/elastic.json", "-simulate", "-json", "-workers", "1")
+}
+
+// TestRunRejectsMissingScenario: the tool fails loudly without -scenario,
+// while -h prints usage and exits clean, and elastic-only flags on a
+// classic trace are rejected instead of silently ignored.
+func TestRunRejectsMissingScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-json"}, &out); err == nil {
+		t.Fatal("run without -scenario succeeded")
+	}
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("-h is not an error: %v", err)
+	}
+	err := run([]string{"-scenario", "../../examples/fleet/scenario.json", "-simulate", "-penalty", "30"}, &out)
+	if err == nil {
+		t.Fatal("-penalty on a classic trace was silently ignored")
+	}
+}
+
+// TestTraceFlagOverridesScenario: -trace substitutes the event trace, so
+// the classic example replays an elastic churn trace without editing the
+// scenario file.
+func TestTraceFlagOverridesScenario(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(trace, []byte(`[
+		{"at": 0, "job": "bert-production", "work": 5000},
+		{"at": 10, "kind": "node_fail", "node": 0},
+		{"at": 20, "kind": "node_join"}
+	]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-scenario", "../../examples/fleet/scenario.json",
+		"-trace", trace, "-simulate", "-json", "-workers", "1",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"kind": "node_fail"`, `"fails": 1`, `"joins": 1`} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Fatalf("elastic output missing %q:\n%s", want, out.Bytes())
+		}
+	}
+}

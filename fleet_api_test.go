@@ -53,3 +53,42 @@ func TestFleetFacade(t *testing.T) {
 		t.Fatalf("implausible fleet simulation: %+v", res)
 	}
 }
+
+// TestFleetElasticFacade: the elastic simulator is reachable through the
+// facade — churn events replay, the pool tracks fail/join, and the event
+// kinds and re-plan constants line up with the fleet package's.
+func TestFleetElasticFacade(t *testing.T) {
+	cluster := chimera.FleetCluster{
+		Nodes:  8,
+		Device: chimera.PizDaintNode(), Network: chimera.AriesNetwork(),
+	}
+	res, err := chimera.SimulateFleetElastic(chimera.FleetElasticScenario{
+		Cluster: cluster,
+		Jobs: []chimera.FleetJob{
+			{Name: "a", Model: chimera.BERT48(), MiniBatch: 64, Priority: 2},
+			{Name: "b", Model: chimera.BERT48(), MiniBatch: 32},
+		},
+		Replan:           chimera.FleetReplanIncremental,
+		MigrationPenalty: 2,
+		Events: []chimera.FleetEvent{
+			{At: 0, Kind: chimera.FleetArrivalEvent, Job: "a", Work: 20000},
+			{At: 5, Kind: chimera.FleetArrivalEvent, Job: "b", Work: 5000},
+			{At: 10, Kind: chimera.FleetNodeFail, Node: 0},
+			{At: 20, Kind: chimera.FleetNodeJoin},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replan != chimera.FleetReplanIncremental {
+		t.Fatalf("replan mode = %q", res.Replan)
+	}
+	if res.Fails != 1 || res.Joins != 1 || res.InitialNodes != 8 || res.FinalNodes != 8 {
+		t.Fatalf("churn accounting off: %+v", res)
+	}
+	for _, run := range res.Jobs {
+		if run.DoneAt < 0 {
+			t.Fatalf("run %s never completed under churn", run.Job)
+		}
+	}
+}

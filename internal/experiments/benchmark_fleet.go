@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"chimera/internal/engine"
@@ -42,6 +43,44 @@ type FleetBenchmark struct {
 	// the whole benchmark — how much of the greedy search the memoization
 	// absorbs.
 	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+
+	// Elastic is the churn benchmark: incremental vs full re-planning over
+	// one event trace. CI gates Speedup ≥ 2 with EqualFinal and
+	// Deterministic true.
+	Elastic *FleetBenchElastic `json:"elastic"`
+}
+
+// FleetBenchElastic compares the incremental re-planner against full
+// re-planning on a churn-heavy trace with warm plan memos — the
+// steady-state cost of keeping a fleet allocated while the cluster churns.
+type FleetBenchElastic struct {
+	// Nodes, Jobs and Events describe the scenario; churn counters break
+	// the events down.
+	Nodes  int `json:"nodes"`
+	Jobs   int `json:"jobs"`
+	Events int `json:"events"`
+	Fails  int `json:"fails"`
+	Drains int `json:"drains"`
+	Joins  int `json:"joins"`
+
+	// FullSeconds and IncrementalSeconds are min-of-3 wall times for one
+	// whole trace replay; Speedup is their ratio (gated ≥ 2 in CI).
+	FullSeconds        float64 `json:"full_seconds"`
+	IncrementalSeconds float64 `json:"incremental_seconds"`
+	Speedup            float64 `json:"speedup"`
+
+	// FullJobsEvaluated and IncrementalJobsEvaluated count the re-plan work
+	// (job evaluations) each policy performed — the machine-independent
+	// explanation of the speedup.
+	FullJobsEvaluated        int `json:"full_jobs_evaluated"`
+	IncrementalJobsEvaluated int `json:"incremental_jobs_evaluated"`
+
+	// EqualFinal asserts both policies reached the identical final
+	// allocation (per-job node counts, plans, and throughputs).
+	EqualFinal bool `json:"equal_final"`
+	// Deterministic asserts the incremental replay encodes byte-identically
+	// on a serial engine and a full pool.
+	Deterministic bool `json:"deterministic"`
 }
 
 // FleetBenchJob describes one job of the benchmark mix.
@@ -162,7 +201,105 @@ func BenchmarkFleet() (*FleetBenchmark, error) {
 		return nil, err
 	}
 	b.Deterministic = det
+
+	elastic, err := benchmarkElastic()
+	if err != nil {
+		return nil, err
+	}
+	b.Elastic = elastic
 	return b, nil
+}
+
+// elasticBenchScenario is the churn benchmark: twelve capped jobs (demand
+// 72 nodes) on an 80-node cluster, with eight fail → join → drain → join
+// cycles rolling through while everything is resident. Demand stays below
+// the pool at every instant, so both re-plan policies must hold every job
+// at its saturation share and the final-allocation comparison is exact.
+func elasticBenchScenario(mode fleet.ReplanMode) fleet.ElasticScenario {
+	plat := pizDaint()
+	jobs := elasticMix(12)
+	return fleet.ElasticScenario{
+		Cluster:          fleet.Cluster{Nodes: 80, Device: plat.dev, Network: plat.net},
+		Jobs:             jobs,
+		Events:           elasticTrace(jobs, 8, 300),
+		Replan:           mode,
+		MigrationPenalty: 10,
+	}
+}
+
+// benchmarkElastic times incremental vs full re-planning over the churn
+// trace on warm plan memos (the steady-state regime of a long-running
+// allocator), checks the final allocations agree, and re-runs the
+// incremental replay across engine pool sizes for the determinism gate.
+func benchmarkElastic() (*FleetBenchElastic, error) {
+	alloc := fleet.NewAllocator(engine.New())
+	run := func(mode fleet.ReplanMode) (*fleet.ElasticResult, float64, error) {
+		sc := elasticBenchScenario(mode)
+		// Warm pass: populate the plan memo so the timed passes measure
+		// re-plan machinery, not first-touch planning.
+		res, err := alloc.SimulateElastic(sc)
+		if err != nil {
+			return nil, 0, err
+		}
+		best := math.Inf(1)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			if _, err := alloc.SimulateElastic(sc); err != nil {
+				return nil, 0, err
+			}
+			if s := time.Since(start).Seconds(); s < best {
+				best = s
+			}
+		}
+		return res, best, nil
+	}
+	full, fullSec, err := run(fleet.ReplanFull)
+	if err != nil {
+		return nil, err
+	}
+	inc, incSec, err := run(fleet.ReplanIncremental)
+	if err != nil {
+		return nil, err
+	}
+	e := &FleetBenchElastic{
+		Nodes: full.InitialNodes, Jobs: len(elasticMix(12)), Events: full.Events,
+		Fails: full.Fails, Drains: full.Drains, Joins: full.Joins,
+		FullSeconds: fullSec, IncrementalSeconds: incSec,
+		FullJobsEvaluated:        full.JobsEvaluated,
+		IncrementalJobsEvaluated: inc.JobsEvaluated,
+	}
+	if incSec > 0 {
+		e.Speedup = fullSec / incSec
+	}
+	rawFull, err := json.Marshal(serve.NewFleetElasticResponse(full).Final)
+	if err != nil {
+		return nil, err
+	}
+	rawInc, err := json.Marshal(serve.NewFleetElasticResponse(inc).Final)
+	if err != nil {
+		return nil, err
+	}
+	e.EqualFinal = bytes.Equal(rawFull, rawInc)
+
+	// Cross-pool determinism of the incremental replay encoding.
+	var want []byte
+	e.Deterministic = true
+	for i, eng := range []*engine.Engine{engine.New(engine.Workers(1)), engine.New()} {
+		res, err := fleet.NewAllocator(eng).SimulateElastic(elasticBenchScenario(fleet.ReplanIncremental))
+		if err != nil {
+			return nil, err
+		}
+		raw, err := json.Marshal(serve.NewFleetElasticResponse(res))
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			want = raw
+		} else if !bytes.Equal(raw, want) {
+			e.Deterministic = false
+		}
+	}
+	return e, nil
 }
 
 // fleetDeterministic re-runs the planner-guided allocation and the trace

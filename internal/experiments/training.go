@@ -105,6 +105,7 @@ func All(trainingIters int) []func() (*Report, error) {
 		AblationCompression,
 		AblationHeterogeneous,
 		FleetAllocation,
+		AblationElastic,
 		func() (*Report, error) { return TrainingEquivalence(trainingIters) },
 		func() (*Report, error) { return ConvergenceComparison(2 * trainingIters) },
 	}

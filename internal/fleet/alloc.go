@@ -231,33 +231,45 @@ func (a *Allocator) jobValue(c Cluster, j Job, nodes []node) (jobValue, error) {
 	return vals[len(nodes)/Quantum*Quantum], nil
 }
 
-// plannerGuided grows every job from zero nodes, repeatedly granting front
-// quanta of the fastest-first pool to the job with the best marginal
-// weighted-throughput gain *per quantum*. Because plan throughput is a step
-// function of the worker count (jumps where a new (W, D, B) becomes
-// feasible), the marginal gain of a single quantum is usually zero just
-// below a step; each round therefore considers every extension size k and
-// ranks them by gain/k — the concave-envelope greedy — granting the winner
-// exactly its k quanta. Ties break totally: higher rate, then lower job
-// index, then smaller extension. When no extension improves any job, the
-// remaining nodes stay unallocated.
+// plannerGuided grows every job from zero nodes over the whole pool — the
+// static entry point of the concave-envelope greedy (see greedyGrow).
 func (a *Allocator) plannerGuided(req Request, pool []node) ([][]node, error) {
-	jobs := req.Jobs
-	shares := make([][]node, len(jobs))
+	shares := make([][]node, len(req.Jobs))
 	rest := pool[:len(pool)/Quantum*Quantum] // whole quanta only
+	shares, _, err := a.greedyGrow(req.Cluster, req.Jobs, shares, rest, nil)
+	return shares, err
+}
 
-	for len(rest) > 0 {
+// greedyGrow repeatedly grants front quanta of rest to the job with the
+// best marginal weighted-throughput gain *per quantum*, starting from the
+// given shares (all-empty for a static allocation; the surviving shares of
+// churn-touched jobs when the elastic simulator re-plans incrementally).
+// Because plan throughput is a step function of the worker count (jumps
+// where a new (W, D, B) becomes feasible), the marginal gain of a single
+// quantum is usually zero just below a step; each round therefore considers
+// every extension size k and ranks them by gain/k — the concave-envelope
+// greedy — granting the winner exactly its k quanta. Ties break totally:
+// higher rate, then lower job index, then smaller extension. When no
+// extension improves any job, the remainder stays free and is returned.
+// evals, when non-nil, counts job evaluations (one per job per round) — the
+// re-plan work measure the elastic benchmark reports.
+func (a *Allocator) greedyGrow(c Cluster, jobs []Job, shares [][]node, rest []node, evals *int) ([][]node, []node, error) {
+	for len(rest) >= Quantum {
 		bestJob, bestK, bestRate := -1, 0, 0.0
 		for i, j := range jobs {
 			// One pass over the job's share extended by the whole
 			// remaining pool yields its value at every candidate size.
-			vals, err := a.prefixValues(req.Cluster, j, withNodes(shares[i], rest))
+			vals, err := a.prefixValues(c, j, withNodes(shares[i], rest))
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			cur := vals[len(shares[i])].tp
+			if evals != nil {
+				*evals++
+			}
+			base := len(shares[i]) / Quantum * Quantum
+			cur := vals[base].tp
 			for k := 1; k*Quantum <= len(rest); k++ {
-				gain := j.priority() * (vals[len(shares[i])+k*Quantum].tp - cur)
+				gain := j.priority() * (vals[base+k*Quantum].tp - cur)
 				if gain <= 0 {
 					continue
 				}
@@ -272,25 +284,40 @@ func (a *Allocator) plannerGuided(req Request, pool []node) ([][]node, error) {
 		shares[bestJob] = withNodes(shares[bestJob], rest[:bestK*Quantum])
 		rest = rest[bestK*Quantum:]
 	}
-	return shares, nil
+	return shares, rest, nil
 }
 
 // prefixValues returns, for every even prefix length m of nodes, the best
 // jobValue achievable within the first m nodes (the running maximum the
 // greedy's rate scan reads). Index by prefix length; odd entries are
-// unused.
+// unused. The straggler factor of a prefix is the *maximum* factor within
+// it — correct for any node order, which matters for the elastic warm
+// start, where a surviving share concatenated with the free pool is not
+// fastest-first (on a sorted pool the maximum is simply the last node, so
+// the static path is unchanged). A job's MaxNodes cap truncates the scan:
+// beyond it the value is flat, so capped jobs saturate instead of
+// absorbing ever more quanta.
 func (a *Allocator) prefixValues(c Cluster, j Job, nodes []node) ([]jobValue, error) {
 	vals := make([]jobValue, len(nodes)+1)
 	var best jobValue
+	maxFactor := 0.0
 	for q := Quantum; q <= len(nodes); q += Quantum {
+		for _, n := range nodes[q-Quantum : q] {
+			if n.Factor > maxFactor {
+				maxFactor = n.Factor
+			}
+		}
+		if j.MaxNodes > 0 && q > j.MaxNodes {
+			vals[q] = best
+			continue
+		}
 		pred, err := a.planBest(c, j, q)
 		if err != nil {
 			return nil, err
 		}
 		if pred != nil {
-			f := nodes[q-1].Factor
-			if tp := pred.Throughput / f; best.pred == nil || tp > best.tp {
-				best = jobValue{pred: pred, used: q, factor: f, tp: tp}
+			if tp := pred.Throughput / maxFactor; best.pred == nil || tp > best.tp {
+				best = jobValue{pred: pred, used: q, factor: maxFactor, tp: tp}
 			}
 		}
 		vals[q] = best

@@ -1,0 +1,949 @@
+package fleet
+
+// Elastic fleet simulation: the cluster itself churns — nodes fail, drain,
+// and join while jobs arrive and depart — and the allocator re-plans
+// *incrementally* on every event, warm-starting from the previous
+// allocation and only re-evaluating jobs whose node sets the event touched.
+// A migration-cost term (restart penalty proportional to lost pipeline
+// state) decides preempt-and-move vs. stay, and deadline-aware priority
+// aging guarantees starved jobs eventually win quanta. The full-replan
+// policy (re-run the static allocator from scratch at every event) is
+// retained as the reference the benchmark gates against: incremental must
+// reach the same final allocation at a fraction of the planning work.
+//
+// Everything is deterministic like the rest of the repo: events carry a
+// total order (time, then kind — departures before failures before drains
+// before joins before arrivals — then input index), every decision carries
+// a total tie-break, and no step depends on the engine's pool size.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chimera/internal/engine"
+	"chimera/internal/perfmodel"
+	"chimera/internal/sim"
+)
+
+// EventKind names one elastic-trace event type.
+type EventKind string
+
+const (
+	// EvArrival is a job instance entering the cluster with a fixed amount
+	// of work (the classic trace event; an empty Kind means arrival).
+	EvArrival EventKind = "arrival"
+	// EvNodeFail abruptly removes a node: jobs running on it lose their
+	// in-flight pipeline state and pay the full restart penalty.
+	EvNodeFail EventKind = "node_fail"
+	// EvNodeDrain gracefully removes a node: jobs running on it flush their
+	// pipelines and migrate, paying half the restart penalty.
+	EvNodeDrain EventKind = "node_drain"
+	// EvNodeJoin adds a fresh node (ids are assigned sequentially after the
+	// initial cluster); its optional speed factor defaults to 1.
+	EvNodeJoin EventKind = "node_join"
+	// EvDeparture is internal — a job instance completing — but appears in
+	// the result's event log so tie-break order is observable.
+	EvDeparture EventKind = "departure"
+)
+
+// kindRank is the total order of same-timestamp events: departures free
+// nodes first, failures and drains shrink the pool before joins grow it,
+// and arrivals plan last against the settled pool.
+func kindRank(k EventKind) int {
+	switch k {
+	case EvDeparture:
+		return 0
+	case EvNodeFail:
+		return 1
+	case EvNodeDrain:
+		return 2
+	case EvNodeJoin:
+		return 3
+	default: // EvArrival and ""
+		return 4
+	}
+}
+
+// ReplanMode selects how the elastic simulator re-plans on each event.
+type ReplanMode string
+
+const (
+	// ReplanIncremental warm-starts from the previous allocation and only
+	// re-evaluates jobs the event touched — the policy this package exists
+	// for.
+	ReplanIncremental ReplanMode = "incremental"
+	// ReplanFull re-runs the static allocator from scratch at every event —
+	// the reference the benchmark compares against.
+	ReplanFull ReplanMode = "full"
+)
+
+// ReplanModes lists the supported re-plan mode names.
+func ReplanModes() []string { return []string{string(ReplanIncremental), string(ReplanFull)} }
+
+// MaxElasticNodes bounds the pool (initial nodes plus joins) so one
+// scenario cannot provoke unbounded planning work.
+const MaxElasticNodes = 512
+
+// MaxEvents bounds an elastic trace for the same reason.
+const MaxEvents = 4096
+
+// MaxResident bounds how many instances may be resident at once — the same
+// MaxJobs contract the static allocator enforces per request, applied at
+// replay time because arrivals of one job can stack. Without it a trace of
+// same-instant arrivals grows every re-plan's needy set toward the event
+// count and total work quadratically; with it, per-event planning work is
+// bounded by MaxResident × pool size. Exceeding it is a replay-time error
+// naming the arrival.
+const MaxResident = MaxJobs
+
+// DefaultAgingTau is the default priority-aging time constant in seconds: a
+// starved job's effective priority doubles every tau of waiting. Jobs with
+// a deadline age on min(tau, deadline/2) so deadline pressure accelerates
+// aging.
+const DefaultAgingTau = 600.0
+
+// Event is one entry of an elastic trace. Exactly the fields of its kind
+// may be set: arrivals carry Job and Work, node_fail/node_drain carry Node,
+// node_join may carry Factor.
+type Event struct {
+	// At is the event time in seconds (≥ 0).
+	At float64
+	// Kind is the event type; empty means arrival.
+	Kind EventKind
+	// Job names an entry of the scenario's job list (arrivals).
+	Job string
+	// Work is the number of sequences the arriving instance must process.
+	Work float64
+	// Node is the failing or draining node's id.
+	Node int
+	// Factor is the joining node's speed factor (0 = nominal 1.0).
+	Factor float64
+}
+
+// kind returns the event's effective kind.
+func (e Event) kind() EventKind {
+	if e.Kind == "" {
+		return EvArrival
+	}
+	return e.Kind
+}
+
+// ElasticScenario is one elastic fleet-simulation problem: a cluster, the
+// job vocabulary, an allocation policy, and an event trace that mixes job
+// arrivals with node churn.
+type ElasticScenario struct {
+	Cluster Cluster
+	Jobs    []Job
+	Policy  Policy
+	Events  []Event
+	// Replan selects incremental (default) or full re-planning. Equal-split
+	// scenarios always re-split the whole pool — effectively full — and the
+	// result's Replan field reports that.
+	Replan ReplanMode
+	// MigrationPenalty is the restart cost in seconds per pipeline stage of
+	// the restarting job's old plan: a preempted or migrated pipeline must
+	// drain and refill D stages of in-flight micro-batch state. Failures
+	// charge the full penalty (state is lost); drains and voluntary
+	// migrations charge half (the pipeline flushes first). 0 disables
+	// migration costs.
+	MigrationPenalty float64
+	// AgingTau overrides DefaultAgingTau (0 = default).
+	AgingTau float64
+}
+
+func (sc ElasticScenario) replan() ReplanMode {
+	if sc.Replan == "" {
+		return ReplanIncremental
+	}
+	return sc.Replan
+}
+
+func (sc ElasticScenario) agingTau() float64 {
+	if sc.AgingTau == 0 {
+		return DefaultAgingTau
+	}
+	return sc.AgingTau
+}
+
+// Validate checks the scenario's structural invariants; SimulateElastic
+// calls it, and surface layers call it too so errors name the field before
+// any planning work starts.
+func (sc ElasticScenario) Validate() error {
+	if err := (Request{Cluster: sc.Cluster, Jobs: sc.Jobs, Policy: sc.Policy}).Validate(); err != nil {
+		return err
+	}
+	switch sc.replan() {
+	case ReplanIncremental, ReplanFull:
+	default:
+		return fmt.Errorf("fleet: unknown replan mode %q (have %s, %s)", sc.Replan, ReplanIncremental, ReplanFull)
+	}
+	if sc.MigrationPenalty < 0 || math.IsNaN(sc.MigrationPenalty) || math.IsInf(sc.MigrationPenalty, 0) {
+		return fmt.Errorf("fleet: migration penalty must be finite and ≥ 0, got %g", sc.MigrationPenalty)
+	}
+	if sc.AgingTau < 0 || math.IsNaN(sc.AgingTau) || math.IsInf(sc.AgingTau, 0) {
+		return fmt.Errorf("fleet: aging tau must be finite and ≥ 0, got %g", sc.AgingTau)
+	}
+	if len(sc.Events) == 0 {
+		return fmt.Errorf("fleet: elastic scenario has an empty event trace")
+	}
+	if len(sc.Events) > MaxEvents {
+		return fmt.Errorf("fleet: %d events exceed the limit %d", len(sc.Events), MaxEvents)
+	}
+	byName := make(map[string]bool, len(sc.Jobs))
+	for _, j := range sc.Jobs {
+		byName[j.Name] = true
+	}
+	arrivals, joins := 0, 0
+	for i, ev := range sc.Events {
+		if ev.At < 0 || math.IsNaN(ev.At) || math.IsInf(ev.At, 0) {
+			return fmt.Errorf("fleet: events[%d] time must be finite and ≥ 0, got %g", i, ev.At)
+		}
+		switch ev.kind() {
+		case EvArrival:
+			if !byName[ev.Job] {
+				return fmt.Errorf("fleet: events[%d] names unknown job %q", i, ev.Job)
+			}
+			if !(ev.Work > 0) || math.IsInf(ev.Work, 0) {
+				return fmt.Errorf("fleet: events[%d] work must be positive and finite, got %g", i, ev.Work)
+			}
+			if ev.Node != 0 || ev.Factor != 0 {
+				return fmt.Errorf("fleet: events[%d] (arrival) must not set node or factor", i)
+			}
+			arrivals++
+		case EvNodeFail, EvNodeDrain:
+			if ev.Node < 0 {
+				return fmt.Errorf("fleet: events[%d] (%s) node must be ≥ 0, got %d", i, ev.kind(), ev.Node)
+			}
+			if ev.Job != "" || ev.Work != 0 || ev.Factor != 0 {
+				return fmt.Errorf("fleet: events[%d] (%s) must set only node", i, ev.kind())
+			}
+		case EvNodeJoin:
+			if ev.Factor != 0 && !(ev.Factor >= sim.MinSpeedFactor && ev.Factor <= sim.MaxSpeedFactor) {
+				return fmt.Errorf("fleet: events[%d] (node_join) factor %g out of range [%g, %g]",
+					i, ev.Factor, float64(sim.MinSpeedFactor), float64(sim.MaxSpeedFactor))
+			}
+			if ev.Job != "" || ev.Work != 0 || ev.Node != 0 {
+				return fmt.Errorf("fleet: events[%d] (node_join) may set only factor", i)
+			}
+			joins++
+		default:
+			return fmt.Errorf("fleet: events[%d] has unknown kind %q", i, ev.Kind)
+		}
+	}
+	if arrivals == 0 {
+		return fmt.Errorf("fleet: elastic trace has no arrivals")
+	}
+	if total := sc.Cluster.Nodes + joins; total > MaxElasticNodes {
+		return fmt.Errorf("fleet: %d nodes after all joins exceed the limit %d", total, MaxElasticNodes)
+	}
+	return nil
+}
+
+// EventRecord is one processed event in the result's log — the observable
+// record of the simulator's total event order.
+type EventRecord struct {
+	At   float64
+	Kind EventKind
+	// Job and Trace identify the instance (arrivals and departures);
+	// Trace is the event's input index for churn events.
+	Job   string
+	Trace int
+	// Node is the churned node id (-1 for job events).
+	Node int
+}
+
+// ElasticJobRun reports one arrival's fate, including churn damage.
+type ElasticJobRun struct {
+	Job   string
+	Trace int
+	// ArriveAt, StartAt and DoneAt are absolute times; Wait is
+	// StartAt − ArriveAt. StartAt/DoneAt are -1 until they happen.
+	ArriveAt float64
+	StartAt  float64
+	DoneAt   float64
+	Wait     float64
+	// MissedDeadline is set when the job declares a deadline and
+	// DoneAt − ArriveAt exceeds it.
+	MissedDeadline bool
+	// Restarts counts the instance's plan changes while running (forced by
+	// churn or chosen by the migration rule); PenaltySeconds is the restart
+	// debt it paid for them.
+	Restarts       int
+	PenaltySeconds float64
+}
+
+// FinalShare is one resident instance's slice of the final allocation —
+// the snapshot taken right after the last trace event's re-plan. It
+// deliberately carries node counts and plans, not node ids: on equal-speed
+// nodes identity is irrelevant, and the benchmark's incremental-vs-full
+// equality gate compares exactly this.
+type FinalShare struct {
+	Job        string
+	Trace      int
+	Nodes      int
+	W, D, B    int
+	Throughput float64
+	Weighted   float64
+}
+
+// ElasticResult is the outcome of replaying one elastic trace.
+type ElasticResult struct {
+	Policy Policy
+	Replan ReplanMode
+	// InitialNodes and FinalNodes bracket the pool size across churn.
+	InitialNodes int
+	FinalNodes   int
+	// Makespan is the time the last instance departs; Utilization is
+	// productive node-seconds over the integral of pool size over time
+	// (restart debt counts as idle — churn damage shows up here).
+	Makespan    float64
+	Utilization float64
+	MeanWait    float64
+	// Events counts processed events including departures; Reallocations
+	// how many re-plans ran; JobsEvaluated the total job evaluations the
+	// re-plans performed (the work measure incremental mode minimizes).
+	Events        int
+	Reallocations int
+	JobsEvaluated int
+	// Churn counters.
+	Fails  int
+	Drains int
+	Joins  int
+	// Migrations counts instance restarts (forced and voluntary);
+	// PenaltySeconds the total restart debt charged.
+	Migrations     int
+	PenaltySeconds float64
+	// Log records every processed event in execution order — the pinned
+	// total tie-break order (departures, fails, drains, joins, arrivals).
+	Log []EventRecord
+	// Jobs reports every arrival in trace order; Final the allocation in
+	// effect right after the last trace event.
+	Jobs  []ElasticJobRun
+	Final []FinalShare
+}
+
+// SimulateElastic replays an elastic scenario on the process-wide default
+// engine.
+func SimulateElastic(sc ElasticScenario) (*ElasticResult, error) {
+	return NewAllocator(nil).SimulateElastic(sc)
+}
+
+// SimulateElasticOn is SimulateElastic on a caller-supplied engine.
+func SimulateElasticOn(e *engine.Engine, sc ElasticScenario) (*ElasticResult, error) {
+	return NewAllocator(e).SimulateElastic(sc)
+}
+
+// einstance is one resident job instance during an elastic replay.
+type einstance struct {
+	trace     int
+	job       Job
+	remaining float64
+	// debt is restart penalty seconds still to pay before progress resumes
+	// (the instance holds its nodes but produces nothing).
+	debt float64
+	rate float64
+	// share is the instance's nodes, trimmed to the even prefix its plan
+	// actually drives (idle nodes return to the free pool at re-plan time).
+	share  []node
+	plan   *perfmodel.Prediction
+	factor float64
+	// needy marks the instance for re-planning this round; failed marks a
+	// forced restart caused by node_fail (full penalty instead of half).
+	needy  bool
+	failed bool
+	// starvedSince anchors priority aging: the time the instance last lost
+	// (or never had) a feasible allocation; -1 while running.
+	starvedSince float64
+	started      bool
+}
+
+// effPriority is the instance's aged effective priority at time now: base
+// priority grown linearly with starvation age on the scenario's tau,
+// accelerated for deadline jobs (tau' = min(tau, deadline/2)).
+func (in *einstance) effPriority(now, tau float64) float64 {
+	p := in.job.priority()
+	if in.starvedSince < 0 {
+		return p
+	}
+	if d := in.job.Deadline; d > 0 && d/2 < tau {
+		tau = d / 2
+	}
+	return p * (1 + (now-in.starvedSince)/tau)
+}
+
+// sameAllocation reports whether a re-plan left an instance's execution
+// unchanged: same plan shape and same nodes means no restart.
+func sameAllocation(oldIDs []int, oldPlan *perfmodel.Prediction, in *einstance) bool {
+	if len(oldIDs) != len(in.share) {
+		return false
+	}
+	for i, id := range oldIDs {
+		if in.share[i].ID != id {
+			return false
+		}
+	}
+	if (oldPlan == nil) != (in.plan == nil) {
+		return false
+	}
+	if oldPlan != nil && (oldPlan.W != in.plan.W || oldPlan.D != in.plan.D || oldPlan.B != in.plan.B) {
+		return false
+	}
+	return true
+}
+
+// SimulateElastic replays the event trace as a deterministic discrete-event
+// simulation. On each event batch (all events due at one time, in kind
+// order) the allocator re-plans — incrementally or from scratch per the
+// scenario — and instances whose plan changed while running pay the
+// migration penalty as restart debt before progressing again.
+func (a *Allocator) SimulateElastic(sc ElasticScenario) (*ElasticResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	byName := make(map[string]Job, len(sc.Jobs))
+	for _, j := range sc.Jobs {
+		byName[j.Name] = j
+	}
+
+	// Total event order: time, then kind rank, then input index.
+	order := make([]int, len(sc.Events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		ex, ey := sc.Events[order[x]], sc.Events[order[y]]
+		if ex.At != ey.At {
+			return ex.At < ey.At
+		}
+		return kindRank(ex.kind()) < kindRank(ey.kind())
+	})
+
+	res := &ElasticResult{
+		Policy:       (Request{Policy: sc.Policy}).policy(),
+		Replan:       sc.replan(),
+		InitialNodes: sc.Cluster.Nodes,
+	}
+	// Equal-split has no warm-startable structure — every event re-splits
+	// the whole pool — so the result reports the effective mode instead of
+	// pretending the incremental path ran.
+	if res.Policy == EqualSplit {
+		res.Replan = ReplanFull
+	}
+	// Runs are indexed by event input index; only arrivals get one.
+	runs := make(map[int]*ElasticJobRun, len(sc.Events))
+	for i, ev := range sc.Events {
+		if ev.kind() == EvArrival {
+			runs[i] = &ElasticJobRun{Job: ev.Job, Trace: i, ArriveAt: ev.At, StartAt: -1, DoneAt: -1}
+		}
+	}
+
+	// The live pool, fastest-first; joins get sequential fresh ids.
+	present := sortedPool(sc.Cluster)
+	nextID := sc.Cluster.Nodes
+	tau := sc.agingTau()
+
+	var active []*einstance // arrival order — the re-planners' input order
+	var busySeconds, poolSeconds float64
+	// makespan and poolAtMakespan snapshot at each departure, so churn
+	// events scheduled after the last instance departs cannot inflate the
+	// reported makespan or dilute utilization.
+	var makespan, poolAtMakespan float64
+	now := 0.0
+	next := 0
+	finalTaken := false
+
+	for next < len(order) || len(active) > 0 {
+		// Earliest departure under current rates and debts.
+		departAt := math.Inf(1)
+		for _, in := range active {
+			if in.rate > 0 {
+				if at := now + in.debt + in.remaining/in.rate; at < departAt {
+					departAt = at
+				}
+			}
+		}
+		eventAt := math.Inf(1)
+		if next < len(order) {
+			eventAt = sc.Events[order[next]].At
+		}
+		if math.IsInf(departAt, 1) && math.IsInf(eventAt, 1) {
+			stuck := make([]string, len(active))
+			for i, in := range active {
+				stuck[i] = fmt.Sprintf("%s#%d", in.job.Name, in.trace)
+			}
+			return nil, fmt.Errorf("fleet: elastic trace stalls — no events left and no resident instance can run (%v)", stuck)
+		}
+		// Identify every instance departing at the batch time before
+		// advancing (the same expression that produced departAt, so float
+		// equality is exact).
+		var departing []*einstance
+		if departAt <= eventAt {
+			for _, in := range active {
+				if in.rate > 0 && now+in.debt+in.remaining/in.rate == departAt {
+					departing = append(departing, in)
+				}
+			}
+		}
+		t := math.Min(departAt, eventAt)
+		if t < now {
+			t = now // float residue
+		}
+		dt := t - now
+		if dt > 0 {
+			poolSeconds += float64(len(present)) * dt
+			for _, in := range active {
+				if in.rate <= 0 {
+					continue
+				}
+				d := dt
+				if in.debt > 0 { // debt first: held nodes, no progress
+					pay := math.Min(in.debt, d)
+					in.debt -= pay
+					d -= pay
+				}
+				if d > 0 {
+					in.remaining -= d * in.rate
+					busySeconds += d * float64(len(in.share))
+				}
+			}
+		}
+		now = t
+
+		changed := false
+		// 1) Departures, in arrival (= trace) order.
+		for _, in := range departing {
+			in.remaining = 0 // absorb float residue
+			run := runs[in.trace]
+			run.DoneAt = now
+			if d := in.job.Deadline; d > 0 && now-run.ArriveAt > d {
+				run.MissedDeadline = true
+			}
+			for i, cur := range active {
+				if cur == in {
+					active = append(active[:i], active[i+1:]...)
+					break
+				}
+			}
+			res.Events++
+			res.Log = append(res.Log, EventRecord{At: now, Kind: EvDeparture, Job: in.job.Name, Trace: in.trace, Node: -1})
+			makespan, poolAtMakespan = now, poolSeconds
+			changed = true
+		}
+		// 2) Trace events due now, already in (time, kind, index) order.
+		for next < len(order) && sc.Events[order[next]].At <= now {
+			idx := order[next]
+			ev := sc.Events[idx]
+			next++
+			res.Events++
+			changed = true
+			switch ev.kind() {
+			case EvArrival:
+				if len(active) >= MaxResident {
+					return nil, fmt.Errorf("fleet: events[%d] would make %d instances resident, above the limit %d",
+						idx, len(active)+1, MaxResident)
+				}
+				active = append(active, &einstance{
+					trace: idx, job: byName[ev.Job], remaining: ev.Work,
+					needy: true, starvedSince: now,
+				})
+				res.Log = append(res.Log, EventRecord{At: now, Kind: EvArrival, Job: ev.Job, Trace: idx, Node: -1})
+			case EvNodeFail, EvNodeDrain:
+				pos := -1
+				for i, n := range present {
+					if n.ID == ev.Node {
+						pos = i
+						break
+					}
+				}
+				if pos < 0 {
+					return nil, fmt.Errorf("fleet: events[%d] %s targets absent node %d", idx, ev.kind(), ev.Node)
+				}
+				present = append(present[:pos], present[pos+1:]...)
+				for _, in := range active {
+					for i, n := range in.share {
+						if n.ID == ev.Node {
+							in.share = append(in.share[:i:i], in.share[i+1:]...)
+							in.needy = true
+							if ev.kind() == EvNodeFail {
+								in.failed = true
+							}
+							break
+						}
+					}
+					// A pipeline needs an even node count: a stranded odd
+					// node is dead weight, return it to the pool.
+					if len(in.share)%Quantum != 0 {
+						in.share = in.share[:len(in.share)-1]
+					}
+				}
+				if ev.kind() == EvNodeFail {
+					res.Fails++
+				} else {
+					res.Drains++
+				}
+				res.Log = append(res.Log, EventRecord{At: now, Kind: ev.kind(), Trace: idx, Node: ev.Node})
+			case EvNodeJoin:
+				f := ev.Factor
+				if f == 0 {
+					f = 1
+				}
+				joined := node{ID: nextID, Factor: f}
+				nextID++
+				present = insertSorted(present, joined)
+				res.Joins++
+				res.Log = append(res.Log, EventRecord{At: now, Kind: EvNodeJoin, Trace: idx, Node: joined.ID})
+			}
+		}
+		if changed {
+			if err := a.replanElastic(sc, res, runs, active, present, now, tau); err != nil {
+				return nil, err
+			}
+			// The batch that consumes the last trace event snapshots the
+			// final allocation right after its re-plan (next only advances
+			// inside batches, so the first batch seeing next == len is it).
+			if next >= len(order) && !finalTaken {
+				res.Final = finalShares(active)
+				finalTaken = true
+			}
+		}
+	}
+
+	res.Makespan = makespan
+	res.FinalNodes = len(present)
+	if poolAtMakespan > 0 {
+		res.Utilization = busySeconds / poolAtMakespan
+	}
+	var wait float64
+	for i := range sc.Events {
+		if run, ok := runs[i]; ok {
+			res.Jobs = append(res.Jobs, *run)
+			wait += run.Wait
+		}
+	}
+	if len(res.Jobs) > 0 {
+		res.MeanWait = wait / float64(len(res.Jobs))
+	}
+	return res, nil
+}
+
+// insertSorted places n into the fastest-first pool (factor, then id).
+func insertSorted(pool []node, n node) []node {
+	pos := sort.Search(len(pool), func(i int) bool {
+		if pool[i].Factor != n.Factor {
+			return pool[i].Factor > n.Factor
+		}
+		return pool[i].ID > n.ID
+	})
+	pool = append(pool, node{})
+	copy(pool[pos+1:], pool[pos:])
+	pool[pos] = n
+	return pool
+}
+
+// freeNodes returns present minus every instance's share, fastest-first.
+func freeNodes(present []node, active []*einstance) []node {
+	assigned := make(map[int]bool)
+	for _, in := range active {
+		for _, n := range in.share {
+			assigned[n.ID] = true
+		}
+	}
+	free := make([]node, 0, len(present))
+	for _, n := range present {
+		if !assigned[n.ID] {
+			free = append(free, n)
+		}
+	}
+	return free
+}
+
+// finalShares snapshots the allocation in effect (resident instances in
+// arrival order).
+func finalShares(active []*einstance) []FinalShare {
+	out := make([]FinalShare, 0, len(active))
+	for _, in := range active {
+		fs := FinalShare{Job: in.job.Name, Trace: in.trace, Nodes: len(in.share)}
+		if in.plan != nil {
+			fs.W, fs.D, fs.B = in.plan.W, in.plan.D, in.plan.B
+			fs.Throughput = in.rate
+			fs.Weighted = in.job.priority() * in.rate
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// applyShare installs a (possibly oversized) share on an instance: the
+// share is trimmed to the even prefix the best plan drives, and rate, plan
+// and straggler factor refresh from it.
+func (a *Allocator) applyShare(sc ElasticScenario, in *einstance, share []node) error {
+	v, err := a.jobValue(sc.Cluster, in.job, share)
+	if err != nil {
+		return err
+	}
+	if v.pred == nil {
+		in.share = nil
+		in.plan, in.rate, in.factor = nil, 0, 1
+		return nil
+	}
+	in.share = share[:v.used:v.used]
+	in.plan, in.rate, in.factor = v.pred, v.tp, v.factor
+	return nil
+}
+
+// replanElastic re-plans after an event batch and settles the consequences:
+// restart penalties for changed running instances, start times, starvation
+// anchors.
+func (a *Allocator) replanElastic(sc ElasticScenario, res *ElasticResult, runs map[int]*ElasticJobRun,
+	active []*einstance, present []node, now, tau float64) error {
+	if len(active) == 0 {
+		return nil
+	}
+	res.Reallocations++
+
+	// Snapshot the pre-replan execution state for restart detection.
+	oldIDs := make([][]int, len(active))
+	oldPlans := make([]*perfmodel.Prediction, len(active))
+	oldRates := make([]float64, len(active))
+	for i, in := range active {
+		oldIDs[i] = nodeIDs(in.share)
+		oldPlans[i] = in.plan
+		oldRates[i] = in.rate
+	}
+
+	var err error
+	if res.Policy == EqualSplit || sc.replan() == ReplanFull {
+		err = a.replanFull(sc, res, active, present, now, tau)
+	} else {
+		err = a.replanIncremental(sc, res, active, present, now, tau)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Settle: penalties, starts, starvation anchors.
+	for i, in := range active {
+		run := runs[in.trace]
+		if oldRates[i] > 0 && !sameAllocation(oldIDs[i], oldPlans[i], in) {
+			pen := sc.MigrationPenalty * float64(oldPlans[i].D)
+			if !in.failed {
+				pen /= 2 // graceful: the pipeline flushes instead of discarding
+			}
+			in.debt += pen
+			res.Migrations++
+			res.PenaltySeconds += pen
+			run.Restarts++
+			run.PenaltySeconds += pen
+		}
+		in.failed = false
+		in.needy = false
+		if in.rate > 0 {
+			if !in.started {
+				in.started = true
+				run.StartAt = now
+				run.Wait = now - run.ArriveAt
+			}
+			in.starvedSince = -1
+		} else if in.starvedSince < 0 {
+			in.starvedSince = now
+		}
+	}
+	return nil
+}
+
+// replanFull re-runs the static policy from scratch over every resident
+// instance — the reference re-planner.
+func (a *Allocator) replanFull(sc ElasticScenario, res *ElasticResult, active []*einstance,
+	present []node, now, tau float64) error {
+	jobs := make([]Job, len(active))
+	for i, in := range active {
+		jobs[i] = in.job
+		jobs[i].Priority = in.effPriority(now, tau)
+	}
+	pool := present[:len(present)/Quantum*Quantum]
+	var shares [][]node
+	if res.Policy == EqualSplit {
+		shares = equalSplit(pool, len(jobs))
+		// equalSplit carves subslices of the pool; shares must own their
+		// nodes, because churn events mutate `present` in place and would
+		// otherwise rewrite every aliased share underneath the instances.
+		for i := range shares {
+			shares[i] = append([]node(nil), shares[i]...)
+		}
+		res.JobsEvaluated += len(jobs)
+	} else {
+		var err error
+		shares, _, err = a.greedyGrow(sc.Cluster, jobs, make([][]node, len(jobs)), pool, &res.JobsEvaluated)
+		if err != nil {
+			return err
+		}
+	}
+	for i, in := range active {
+		if err := a.applyShare(sc, in, shares[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replanIncremental is the warm-started re-planner: instances untouched by
+// the event batch keep their shares and plans verbatim; only needy
+// instances (new arrivals, churn-touched, starved) re-plan, growing from
+// their surviving nodes over the free pool. Two follow-up passes implement
+// the elastic policies:
+//
+//   - preempt-and-move vs. stay: running untouched instances may extend
+//     into leftover free nodes, but only when the throughput gain over the
+//     instance's remaining runtime exceeds the migration penalty it must
+//     pay to restart on the larger share;
+//   - priority aging: an instance still starved after the greedy may evict
+//     quanta from a running instance once its aged priority makes the swap
+//     a strict improvement of the weighted objective.
+func (a *Allocator) replanIncremental(sc ElasticScenario, res *ElasticResult, active []*einstance,
+	present []node, now, tau float64) error {
+	var needy []*einstance
+	for _, in := range active {
+		if in.needy || in.rate <= 0 {
+			needy = append(needy, in)
+		}
+	}
+	if len(needy) > 0 {
+		jobs := make([]Job, len(needy))
+		bases := make([][]node, len(needy))
+		for i, in := range needy {
+			jobs[i] = in.job
+			jobs[i].Priority = in.effPriority(now, tau)
+			bases[i] = in.share
+		}
+		free := freeNodes(present, active)
+		shares, _, err := a.greedyGrow(sc.Cluster, jobs, bases, free, &res.JobsEvaluated)
+		if err != nil {
+			return err
+		}
+		for i, in := range needy {
+			if err := a.applyShare(sc, in, shares[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := a.extendRunning(sc, res, active, present, now); err != nil {
+		return err
+	}
+	return a.preemptForStarved(sc, res, active, present, now, tau)
+}
+
+// extendRunning offers leftover free nodes to running instances, one pass
+// in arrival order. Growing a pipeline is a restart, so an extension is
+// taken only when it pays for itself: extra sequences over the instance's
+// remaining runtime at the new rate must exceed the sequences lost to the
+// restart debt (Δtp · remaining/tp_new > penalty · tp_new). With a zero
+// migration penalty this reduces to plain greedy growth.
+func (a *Allocator) extendRunning(sc ElasticScenario, res *ElasticResult, active []*einstance,
+	present []node, now float64) error {
+	free := freeNodes(present, active)
+	if len(free) < Quantum {
+		return nil
+	}
+	for _, in := range active {
+		if in.rate <= 0 || len(free) < Quantum {
+			continue
+		}
+		vals, err := a.prefixValues(sc.Cluster, in.job, withNodes(in.share, free))
+		if err != nil {
+			return err
+		}
+		res.JobsEvaluated++
+		bestK, bestNet := 0, 0.0
+		for k := 1; k*Quantum <= len(free); k++ {
+			v := vals[len(in.share)+k*Quantum]
+			if v.tp <= in.rate {
+				continue
+			}
+			pen := sc.MigrationPenalty * float64(in.plan.D) / 2
+			net := (v.tp-in.rate)*(in.remaining/v.tp) - pen*v.tp
+			if net > bestNet {
+				bestK, bestNet = k, net
+			}
+		}
+		if bestK == 0 {
+			continue
+		}
+		if err := a.applyShare(sc, in, withNodes(in.share, free[:bestK*Quantum])); err != nil {
+			return err
+		}
+		free = freeNodes(present, active)
+	}
+	return nil
+}
+
+// preemptForStarved lets aged starved instances evict quanta from running
+// ones. For each starved instance (arrival order) every (donor, quanta)
+// candidate is scored by the aged objective change
+// eff_s·tp_s(new) − eff_d·(tp_d(old) − tp_d(shrunk)); the best strictly
+// positive candidate wins (ties: lower donor trace index, then fewer
+// quanta), the donor pays the migration penalty through the usual restart
+// diff, and aging guarantees a starved job's side of the comparison grows
+// without bound — it eventually wins quanta.
+func (a *Allocator) preemptForStarved(sc ElasticScenario, res *ElasticResult, active []*einstance,
+	present []node, now, tau float64) error {
+	for _, s := range active {
+		if s.rate > 0 {
+			continue
+		}
+		free := freeNodes(present, active)
+		effS := s.effPriority(now, tau)
+		type move struct {
+			donor *einstance
+			k     int
+			net   float64
+			share []node
+		}
+		var best *move
+		for _, d := range active {
+			if d == s || d.rate <= 0 || len(d.share) < Quantum {
+				continue
+			}
+			dVals, err := a.prefixValues(sc.Cluster, d.job, d.share)
+			if err != nil {
+				return err
+			}
+			res.JobsEvaluated++
+			effD := d.effPriority(now, tau)
+			for k := 1; k*Quantum <= len(d.share); k++ {
+				keep := len(d.share) - k*Quantum
+				released := d.share[keep:]
+				cand := withNodes(withNodes(s.share, free), released)
+				sv, err := a.jobValue(sc.Cluster, s.job, cand)
+				if err != nil {
+					return err
+				}
+				res.JobsEvaluated++ // the starved side's scan is re-plan work too
+				if sv.pred == nil {
+					continue
+				}
+				net := effS*sv.tp - effD*(d.rate-dVals[keep].tp)
+				if net <= 0 {
+					continue
+				}
+				// Strictly-greater replacement: candidates are scanned in
+				// (donor arrival order, quanta ascending), so equal nets
+				// keep the earliest donor and the smallest eviction.
+				if best == nil || net > best.net {
+					best = &move{donor: d, k: k, net: net, share: cand}
+				}
+			}
+		}
+		if best == nil {
+			continue
+		}
+		keep := len(best.donor.share) - best.k*Quantum
+		if err := a.applyShare(sc, best.donor, best.donor.share[:keep:keep]); err != nil {
+			return err
+		}
+		if err := a.applyShare(sc, s, best.share); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -98,6 +98,15 @@ type Job struct {
 	Deadline float64
 	// MaxB caps the per-job greedy micro-batch search (0 = planner default).
 	MaxB int
+	// MaxNodes caps how many nodes the job's plan may drive (0 = no cap;
+	// otherwise even and ≥ 2). Real jobs bound their parallelism — a model
+	// only partitions so deep — and a cap makes a job's throughput curve
+	// saturate, which is what lets the elastic simulator's incremental
+	// re-planner agree with a full re-plan when capacity exceeds demand on
+	// a homogeneous pool (with mixed node speeds the warm start keeps a
+	// job on its surviving nodes rather than reshuffling onto faster
+	// joiners, so the two policies may legitimately settle differently).
+	MaxNodes int
 }
 
 // priority returns the job's effective objective weight.
@@ -167,6 +176,10 @@ func (r Request) Validate() error {
 		}
 		if j.MaxB < 0 {
 			return fmt.Errorf("fleet: job %q max_b must be ≥ 0, got %d", j.Name, j.MaxB)
+		}
+		if j.MaxNodes != 0 && (j.MaxNodes < Quantum || j.MaxNodes%Quantum != 0) {
+			return fmt.Errorf("fleet: job %q max_nodes must be 0 or an even count ≥ %d, got %d",
+				j.Name, Quantum, j.MaxNodes)
 		}
 	}
 	switch r.policy() {

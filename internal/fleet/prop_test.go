@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+
+	"chimera/internal/engine"
+	"chimera/internal/model"
+)
+
+// propMixes are the job mixes the allocator properties are checked over:
+// priority skew, model skew, capped jobs, and a uniform mix. Jobs within a
+// mix are pairwise distinct (model, mini-batch, priority or cap differ) so
+// no two candidates ever tie — the properties below are only meaningful
+// when the greedy's index tie-break cannot fire.
+func propMixes() [][]Job {
+	return [][]Job{
+		benchMix(),
+		{
+			{Name: "p1", Model: model.BERT48(), MiniBatch: 128, Priority: 3},
+			{Name: "p2", Model: model.GPT2Small32(), MiniBatch: 96, Priority: 2},
+			{Name: "p3", Model: model.BERT48(), MiniBatch: 32, Priority: 1},
+		},
+		{
+			{Name: "capped", Model: model.BERT48(), MiniBatch: 64, MaxNodes: 4, Priority: 2},
+			{Name: "open", Model: model.BERT48(), MiniBatch: 256, Priority: 1},
+		},
+	}
+}
+
+// TestAllocatorAddNodeMonotonic: growing the cluster never decreases the
+// planner-guided weighted fleet throughput — more capacity cannot hurt.
+// Table-driven over the property mixes and a ladder of cluster sizes.
+func TestAllocatorAddNodeMonotonic(t *testing.T) {
+	a := NewAllocator(engine.New())
+	for mi, jobs := range propMixes() {
+		prev := -1.0
+		for nodes := 8; nodes <= 20; nodes += 2 {
+			al, err := a.Allocate(Request{Cluster: pizDaintCluster(nodes, nil), Jobs: jobs})
+			if err != nil {
+				t.Fatalf("mix %d, %d nodes: %v", mi, nodes, err)
+			}
+			if al.WeightedThroughput < prev {
+				t.Fatalf("mix %d: weighted throughput fell from %.4f to %.4f when growing %d → %d nodes",
+					mi, prev, al.WeightedThroughput, nodes-2, nodes)
+			}
+			prev = al.WeightedThroughput
+		}
+	}
+}
+
+// TestAllocatorPermutationInvariant: the allocation a job receives depends
+// on what the job is, not where it sits in the request — permuting the job
+// list permutes the result and changes nothing else. Seeded permutations,
+// matched per job name.
+func TestAllocatorPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewAllocator(engine.New())
+	for mi, jobs := range propMixes() {
+		ref, err := a.Allocate(Request{Cluster: pizDaintCluster(16, nil), Jobs: jobs})
+		if err != nil {
+			t.Fatalf("mix %d: %v", mi, err)
+		}
+		byName := make(map[string]JobAllocation, len(ref.Jobs))
+		for _, j := range ref.Jobs {
+			byName[j.Job] = j
+		}
+		for trial := 0; trial < 4; trial++ {
+			perm := append([]Job(nil), jobs...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			al, err := a.Allocate(Request{Cluster: pizDaintCluster(16, nil), Jobs: perm})
+			if err != nil {
+				t.Fatalf("mix %d trial %d: %v", mi, trial, err)
+			}
+			if al.WeightedThroughput != ref.WeightedThroughput {
+				t.Fatalf("mix %d trial %d: weighted throughput %.6f != %.6f under permutation",
+					mi, trial, al.WeightedThroughput, ref.WeightedThroughput)
+			}
+			for i, got := range al.Jobs {
+				if got.Job != perm[i].Name {
+					t.Fatalf("mix %d trial %d: result order broke input order", mi, trial)
+				}
+				want := byName[got.Job]
+				if got.Nodes != want.Nodes || got.NodesUsed != want.NodesUsed ||
+					got.Throughput != want.Throughput || got.Weighted != want.Weighted {
+					t.Fatalf("mix %d trial %d: job %q got %d/%d nodes %.6f seq/s, want %d/%d nodes %.6f seq/s",
+						mi, trial, got.Job, got.Nodes, got.NodesUsed, got.Throughput,
+						want.Nodes, want.NodesUsed, want.Throughput)
+				}
+				if (got.Plan == nil) != (want.Plan == nil) {
+					t.Fatalf("mix %d trial %d: job %q feasibility flipped under permutation", mi, trial, got.Job)
+				}
+				if got.Plan != nil && (got.Plan.W != want.Plan.W || got.Plan.D != want.Plan.D || got.Plan.B != want.Plan.B) {
+					t.Fatalf("mix %d trial %d: job %q plan (%d,%d,%d) != (%d,%d,%d) under permutation",
+						mi, trial, got.Job, got.Plan.W, got.Plan.D, got.Plan.B,
+						want.Plan.W, want.Plan.D, want.Plan.B)
+				}
+			}
+		}
+	}
+}

@@ -594,14 +594,15 @@ func NewEngineStats(workers int, st engine.Stats) EngineStatsJSON {
 
 // RequestCounts are per-endpoint admitted-request counters in /v1/stats.
 type RequestCounts struct {
-	Plan      uint64 `json:"plan"`
-	FleetPlan uint64 `json:"fleet_plan"`
-	Simulate  uint64 `json:"simulate"`
-	Analyze   uint64 `json:"analyze"`
-	Schedules uint64 `json:"schedules"`
-	Render    uint64 `json:"render"`
-	Health    uint64 `json:"healthz"`
-	Stats     uint64 `json:"stats"`
+	Plan          uint64 `json:"plan"`
+	FleetPlan     uint64 `json:"fleet_plan"`
+	FleetSimulate uint64 `json:"fleet_simulate"`
+	Simulate      uint64 `json:"simulate"`
+	Analyze       uint64 `json:"analyze"`
+	Schedules     uint64 `json:"schedules"`
+	Render        uint64 `json:"render"`
+	Health        uint64 `json:"healthz"`
+	Stats         uint64 `json:"stats"`
 }
 
 // StatsResponse is the /v1/stats reply.
@@ -616,10 +617,12 @@ type StatsResponse struct {
 	// heavy requests.
 	MaxInflight int `json:"max_inflight"`
 	// PlanCache is the service-level memo of encoded /v1/plan responses;
-	// FleetCache the same for /v1/fleet/plan.
-	PlanCache  CacheTableJSON  `json:"plan_cache"`
-	FleetCache CacheTableJSON  `json:"fleet_cache"`
-	Engine     EngineStatsJSON `json:"engine"`
+	// FleetCache the same for /v1/fleet/plan and FleetSimCache for
+	// /v1/fleet/simulate.
+	PlanCache     CacheTableJSON  `json:"plan_cache"`
+	FleetCache    CacheTableJSON  `json:"fleet_cache"`
+	FleetSimCache CacheTableJSON  `json:"fleet_sim_cache"`
+	Engine        EngineStatsJSON `json:"engine"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -42,6 +42,9 @@ type FleetJobRef struct {
 	Deadline float64 `json:"deadline,omitempty"`
 	// MaxB caps the job's greedy micro-batch search (default 64).
 	MaxB int `json:"max_b,omitempty"`
+	// MaxNodes caps how many nodes the job's plan may drive (0 = no cap;
+	// otherwise even and ≥ 2).
+	MaxNodes int `json:"max_nodes,omitempty"`
 }
 
 // FleetPlanRequest is the /v1/fleet/plan body: one fleet-allocation
@@ -64,14 +67,46 @@ type FleetArrivalRef struct {
 	Work float64 `json:"work"`
 }
 
-// FleetScenario is the chimera-fleet scenario file format: a plan request
-// plus an optional arrival trace for the fleet simulator.
+// FleetEventRef is one elastic-trace event on the wire: an arrival (kind
+// omitted or "arrival", with job and work) or node churn (node_fail and
+// node_drain with node; node_join with optional factor).
+type FleetEventRef struct {
+	At   float64 `json:"at"`
+	Kind string  `json:"kind,omitempty"`
+	Job  string  `json:"job,omitempty"`
+	Work float64 `json:"work,omitempty"`
+	Node int     `json:"node,omitempty"`
+	// Factor is the joining node's speed factor (0 = nominal).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// MaxFleetEvents bounds an elastic trace (the fleet package enforces the
+// same bound; re-exported so the wire contract names it).
+const MaxFleetEvents = fleet.MaxEvents
+
+// FleetScenario is the chimera-fleet scenario file format and the
+// /v1/fleet/simulate body: a plan request plus either a classic arrival
+// trace (trace) or an elastic event trace (events, with churn and the
+// re-plan knobs).
 type FleetScenario struct {
 	Cluster FleetClusterRef   `json:"cluster"`
 	Jobs    []FleetJobRef     `json:"jobs"`
 	Policy  string            `json:"policy,omitempty"`
 	Trace   []FleetArrivalRef `json:"trace,omitempty"`
+	// Events, when present, selects the elastic simulator (mutually
+	// exclusive with trace).
+	Events []FleetEventRef `json:"events,omitempty"`
+	// Replan: incremental (default) | full.
+	Replan string `json:"replan,omitempty"`
+	// MigrationPenalty is the restart cost in seconds per pipeline stage of
+	// a migrating job's old plan (failures charge double a graceful move).
+	MigrationPenalty float64 `json:"migration_penalty,omitempty"`
+	// AgingTau overrides the priority-aging time constant (seconds).
+	AgingTau float64 `json:"aging_tau,omitempty"`
 }
+
+// Elastic reports whether the scenario asks for the elastic simulator.
+func (s FleetScenario) Elastic() bool { return len(s.Events) > 0 }
 
 // resolveFleetPolicy maps the wire policy name onto the fleet package's.
 func resolveFleetPolicy(p string) (fleet.Policy, error) {
@@ -125,6 +160,9 @@ func (r FleetPlanRequest) Resolve() (fleet.Request, error) {
 		if j.MaxB < 0 || j.MaxB > MaxMiniBatch {
 			return out, fmt.Errorf("fleet: job %q max_b must be in [0, %d], got %d", j.Name, MaxMiniBatch, j.MaxB)
 		}
+		if j.MaxNodes < 0 || j.MaxNodes > MaxWorkers {
+			return out, fmt.Errorf("fleet: job %q max_nodes must be in [0, %d], got %d", j.Name, MaxWorkers, j.MaxNodes)
+		}
 		if j.Priority < 0 || math.IsNaN(j.Priority) || math.IsInf(j.Priority, 0) {
 			return out, fmt.Errorf("fleet: job %q priority must be finite and ≥ 0, got %g", j.Name, j.Priority)
 		}
@@ -134,6 +172,7 @@ func (r FleetPlanRequest) Resolve() (fleet.Request, error) {
 		jobs[i] = fleet.Job{
 			Name: j.Name, Model: m, MiniBatch: j.MiniBatch,
 			Priority: j.Priority, Deadline: j.Deadline, MaxB: j.MaxB,
+			MaxNodes: j.MaxNodes,
 		}
 	}
 	policy, err := resolveFleetPolicy(r.Policy)
@@ -155,8 +194,17 @@ func (r FleetPlanRequest) Resolve() (fleet.Request, error) {
 	return out, nil
 }
 
-// Resolve validates the scenario into a fleet.Scenario (trace included).
+// Resolve validates the scenario into a fleet.Scenario (classic trace).
+// Elastic scenarios (events present) must resolve through ResolveElastic,
+// and the elastic-only knobs are rejected here rather than silently
+// ignored — the strict-validation contract of every field in this codec.
 func (s FleetScenario) Resolve() (fleet.Scenario, error) {
+	if s.Elastic() {
+		return fleet.Scenario{}, fmt.Errorf("fleet: scenario carries an elastic event trace; resolve it as elastic")
+	}
+	if s.Replan != "" || s.MigrationPenalty != 0 || s.AgingTau != 0 {
+		return fleet.Scenario{}, fmt.Errorf("fleet: replan, migration_penalty and aging_tau apply only to elastic scenarios (set events)")
+	}
 	req, err := FleetPlanRequest{Cluster: s.Cluster, Jobs: s.Jobs, Policy: s.Policy}.Resolve()
 	if err != nil {
 		return fleet.Scenario{}, err
@@ -166,6 +214,60 @@ func (s FleetScenario) Resolve() (fleet.Scenario, error) {
 		trace[i] = fleet.Arrival{At: ev.At, Job: ev.Job, Work: ev.Work}
 	}
 	return fleet.Scenario{Cluster: req.Cluster, Jobs: req.Jobs, Policy: req.Policy, Trace: trace}, nil
+}
+
+// resolveReplan maps the wire re-plan mode onto the fleet package's.
+func resolveReplan(r string) (fleet.ReplanMode, error) {
+	switch r {
+	case "":
+		return fleet.ReplanIncremental, nil
+	case string(fleet.ReplanIncremental), string(fleet.ReplanFull):
+		return fleet.ReplanMode(r), nil
+	default:
+		return "", fmt.Errorf("fleet: unknown replan mode %q (have %s)", r, strings.Join(fleet.ReplanModes(), ", "))
+	}
+}
+
+// ResolveElastic validates the scenario into a fleet.ElasticScenario.
+func (s FleetScenario) ResolveElastic() (fleet.ElasticScenario, error) {
+	if len(s.Trace) > 0 && len(s.Events) > 0 {
+		return fleet.ElasticScenario{}, fmt.Errorf("fleet: scenario sets both trace and events (use one)")
+	}
+	if len(s.Events) == 0 {
+		return fleet.ElasticScenario{}, fmt.Errorf("fleet: elastic scenario has no events")
+	}
+	if len(s.Events) > MaxFleetEvents {
+		return fleet.ElasticScenario{}, fmt.Errorf("fleet: %d events exceed the limit %d", len(s.Events), MaxFleetEvents)
+	}
+	req, err := FleetPlanRequest{Cluster: s.Cluster, Jobs: s.Jobs, Policy: s.Policy}.Resolve()
+	if err != nil {
+		return fleet.ElasticScenario{}, err
+	}
+	replan, err := resolveReplan(s.Replan)
+	if err != nil {
+		return fleet.ElasticScenario{}, err
+	}
+	events := make([]fleet.Event, len(s.Events))
+	for i, ev := range s.Events {
+		kind := fleet.EventKind(ev.Kind)
+		switch kind {
+		case "", fleet.EvArrival, fleet.EvNodeFail, fleet.EvNodeDrain, fleet.EvNodeJoin:
+		default:
+			return fleet.ElasticScenario{}, fmt.Errorf("fleet: events[%d] has unknown kind %q", i, ev.Kind)
+		}
+		events[i] = fleet.Event{At: ev.At, Kind: kind, Job: ev.Job, Work: ev.Work, Node: ev.Node, Factor: ev.Factor}
+	}
+	out := fleet.ElasticScenario{
+		Cluster: req.Cluster, Jobs: req.Jobs, Policy: req.Policy,
+		Events: events, Replan: replan,
+		MigrationPenalty: s.MigrationPenalty, AgingTau: s.AgingTau,
+	}
+	// The fleet package re-checks its own invariants; running them here
+	// keeps every rejection a 400 with the field named.
+	if err := out.Validate(); err != nil {
+		return fleet.ElasticScenario{}, err
+	}
+	return out, nil
 }
 
 // FleetJobAllocationJSON is one job's share on the wire.
@@ -267,3 +369,99 @@ func NewFleetSimResponse(r *fleet.SimResult) FleetSimResponse {
 
 // FleetPolicies lists the allocation policy names the service accepts.
 func FleetPolicies() []string { return fleet.Policies() }
+
+// FleetReplanModes lists the re-plan mode names the service accepts.
+func FleetReplanModes() []string { return fleet.ReplanModes() }
+
+// FleetEventRecordJSON is one processed event of an elastic replay.
+type FleetEventRecordJSON struct {
+	At   float64 `json:"at"`
+	Kind string  `json:"kind"`
+	Job  string  `json:"job,omitempty"`
+	// Trace is the arrival's (or churn event's) input index; Node the
+	// churned node id (-1 for job events).
+	Trace int `json:"trace"`
+	Node  int `json:"node"`
+}
+
+// FleetElasticJobRunJSON is one arrival's fate under churn.
+type FleetElasticJobRunJSON struct {
+	Job            string  `json:"job"`
+	Trace          int     `json:"trace"`
+	ArriveAt       float64 `json:"arrive_at"`
+	StartAt        float64 `json:"start_at"`
+	DoneAt         float64 `json:"done_at"`
+	Wait           float64 `json:"wait"`
+	MissedDeadline bool    `json:"missed_deadline"`
+	Restarts       int     `json:"restarts"`
+	PenaltySeconds float64 `json:"penalty_seconds"`
+}
+
+// FleetFinalShareJSON is one resident instance's slice of the final
+// allocation (node counts and plan, deliberately not node ids).
+type FleetFinalShareJSON struct {
+	Job        string  `json:"job"`
+	Trace      int     `json:"trace"`
+	Nodes      int     `json:"nodes"`
+	W          int     `json:"w"`
+	D          int     `json:"d"`
+	B          int     `json:"b"`
+	Throughput float64 `json:"throughput"`
+	Weighted   float64 `json:"weighted"`
+}
+
+// FleetElasticResponse is the /v1/fleet/simulate reply for elastic
+// scenarios (and chimera-fleet -json's elastic output).
+type FleetElasticResponse struct {
+	Policy         string                   `json:"policy"`
+	Replan         string                   `json:"replan"`
+	InitialNodes   int                      `json:"initial_nodes"`
+	FinalNodes     int                      `json:"final_nodes"`
+	Makespan       float64                  `json:"makespan"`
+	Utilization    float64                  `json:"utilization"`
+	MeanWait       float64                  `json:"mean_wait"`
+	Events         int                      `json:"events"`
+	Reallocations  int                      `json:"reallocations"`
+	JobsEvaluated  int                      `json:"jobs_evaluated"`
+	Fails          int                      `json:"fails"`
+	Drains         int                      `json:"drains"`
+	Joins          int                      `json:"joins"`
+	Migrations     int                      `json:"migrations"`
+	PenaltySeconds float64                  `json:"penalty_seconds"`
+	Log            []FleetEventRecordJSON   `json:"log"`
+	Jobs           []FleetElasticJobRunJSON `json:"jobs"`
+	Final          []FleetFinalShareJSON    `json:"final"`
+}
+
+// NewFleetElasticResponse encodes an elastic replay. The same function
+// backs the service and chimera-fleet -json, so both emit identical bytes.
+func NewFleetElasticResponse(r *fleet.ElasticResult) FleetElasticResponse {
+	out := FleetElasticResponse{
+		Policy: string(r.Policy), Replan: string(r.Replan),
+		InitialNodes: r.InitialNodes, FinalNodes: r.FinalNodes,
+		Makespan: r.Makespan, Utilization: r.Utilization, MeanWait: r.MeanWait,
+		Events: r.Events, Reallocations: r.Reallocations, JobsEvaluated: r.JobsEvaluated,
+		Fails: r.Fails, Drains: r.Drains, Joins: r.Joins,
+		Migrations: r.Migrations, PenaltySeconds: r.PenaltySeconds,
+		Log:   make([]FleetEventRecordJSON, len(r.Log)),
+		Jobs:  make([]FleetElasticJobRunJSON, len(r.Jobs)),
+		Final: make([]FleetFinalShareJSON, len(r.Final)),
+	}
+	for i, rec := range r.Log {
+		out.Log[i] = FleetEventRecordJSON{At: rec.At, Kind: string(rec.Kind), Job: rec.Job, Trace: rec.Trace, Node: rec.Node}
+	}
+	for i, run := range r.Jobs {
+		out.Jobs[i] = FleetElasticJobRunJSON{
+			Job: run.Job, Trace: run.Trace, ArriveAt: run.ArriveAt, StartAt: run.StartAt,
+			DoneAt: run.DoneAt, Wait: run.Wait, MissedDeadline: run.MissedDeadline,
+			Restarts: run.Restarts, PenaltySeconds: run.PenaltySeconds,
+		}
+	}
+	for i, fs := range r.Final {
+		out.Final[i] = FleetFinalShareJSON{
+			Job: fs.Job, Trace: fs.Trace, Nodes: fs.Nodes,
+			W: fs.W, D: fs.D, B: fs.B, Throughput: fs.Throughput, Weighted: fs.Weighted,
+		}
+	}
+	return out
+}

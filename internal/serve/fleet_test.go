@@ -15,6 +15,17 @@ const fleetBody = `{"cluster":{"nodes":16,"platform":{"preset":"pizdaint"}},` +
 	`"jobs":[{"name":"big","model":{"preset":"bert48"},"mini_batch":256,"priority":4},` +
 	`{"name":"small","model":{"preset":"bert48"},"mini_batch":32}]}`
 
+const fleetElasticBody = `{"cluster":{"nodes":8,"platform":{"preset":"pizdaint"}},` +
+	`"jobs":[{"name":"big","model":{"preset":"bert48"},"mini_batch":256,"priority":4,"max_nodes":4},` +
+	`{"name":"small","model":{"preset":"bert48"},"mini_batch":32}],` +
+	`"migration_penalty":2,` +
+	`"events":[{"at":0,"job":"big","work":20000},{"at":5,"job":"small","work":5000},` +
+	`{"at":10,"kind":"node_fail","node":0},{"at":20,"kind":"node_join","factor":1.5}]}`
+
+const fleetClassicSimBody = `{"cluster":{"nodes":8,"platform":{"preset":"pizdaint"}},` +
+	`"jobs":[{"name":"big","model":{"preset":"bert48"},"mini_batch":256,"priority":4}],` +
+	`"trace":[{"at":0,"job":"big","work":10000}]}`
+
 // TestFleetPlanMatchesInProcess: the served /v1/fleet/plan body must be
 // byte-identical to encoding an in-process allocation through the same
 // codec — the acceptance gate of the fleet subsystem.
@@ -135,6 +146,122 @@ func TestFleetPlanRejections(t *testing.T) {
 	}
 	if got := srv.Snapshot().ClientErrors; got != uint64(len(cases)) {
 		t.Fatalf("client_errors = %d, want %d", got, len(cases))
+	}
+}
+
+// TestFleetSimulateElasticMatchesInProcess: the served /v1/fleet/simulate
+// body for an elastic scenario must be byte-identical to encoding an
+// in-process replay through the same codec.
+func TestFleetSimulateElasticMatchesInProcess(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := post(t, ts, "/v1/fleet/simulate", fleetElasticBody)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var sc FleetScenario
+	if err := DecodeStrict(strings.NewReader(fleetElasticBody), &sc); err != nil {
+		t.Fatal(err)
+	}
+	esc, err := sc.ResolveElastic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fleet.SimulateElasticOn(engine.New(engine.Workers(1)), esc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(NewFleetElasticResponse(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("served elastic simulation differs from in-process replay:\nserved: %s\nlocal:  %s", body, want)
+	}
+	// Spot-check the served content: one fail, one join, both jobs done.
+	var resp FleetElasticResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fails != 1 || resp.Joins != 1 || len(resp.Jobs) != 2 {
+		t.Fatalf("served replay implausible: %+v", resp)
+	}
+}
+
+// TestFleetSimulateClassicTrace: a trace-only scenario replays through the
+// classic simulator and encodes via NewFleetSimResponse.
+func TestFleetSimulateClassicTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := post(t, ts, "/v1/fleet/simulate", fleetClassicSimBody)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp FleetSimResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Makespan <= 0 || len(resp.Jobs) != 1 {
+		t.Fatalf("served classic replay implausible: %+v", resp)
+	}
+}
+
+// TestFleetSimulateCached: repeating one simulation is absorbed by the
+// response cache and replays identical bytes.
+func TestFleetSimulateCached(t *testing.T) {
+	srv, ts := newTestServer(t, Config{CacheCapacity: 64})
+	_, b1 := post(t, ts, "/v1/fleet/simulate", fleetElasticBody)
+	_, b2 := post(t, ts, "/v1/fleet/simulate", fleetElasticBody)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("repeated fleet simulation produced different bytes")
+	}
+	st := srv.Snapshot()
+	if st.FleetSimCache.Misses != 1 || st.FleetSimCache.Hits != 1 {
+		t.Fatalf("fleet_sim_cache = %+v, want 1 miss / 1 hit", st.FleetSimCache)
+	}
+	if st.Requests.FleetSimulate != 2 {
+		t.Fatalf("fleet_simulate count = %d, want 2", st.Requests.FleetSimulate)
+	}
+}
+
+// TestFleetSimulateRejections: malformed simulation requests are 400s with
+// the offence named.
+func TestFleetSimulateRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body, want string
+	}{
+		{"empty", `{"cluster":{"nodes":8,"platform":{"preset":"pizdaint"}},` +
+			`"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32}]}`, "neither a trace nor events"},
+		{"both-traces", `{"cluster":{"nodes":8,"platform":{"preset":"pizdaint"}},` +
+			`"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32}],` +
+			`"trace":[{"at":0,"job":"a","work":10}],"events":[{"at":0,"job":"a","work":10}]}`, "both trace and events"},
+		{"classic-with-elastic-knobs", `{"cluster":{"nodes":8,"platform":{"preset":"pizdaint"}},` +
+			`"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32}],` +
+			`"trace":[{"at":0,"job":"a","work":10}],"migration_penalty":60}`, "apply only to elastic"},
+		{"bad-kind", `{"cluster":{"nodes":8,"platform":{"preset":"pizdaint"}},` +
+			`"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32}],` +
+			`"events":[{"at":0,"kind":"reboot","job":"a","work":10}]}`, "unknown kind"},
+		{"bad-replan", `{"cluster":{"nodes":8,"platform":{"preset":"pizdaint"}},` +
+			`"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32}],` +
+			`"events":[{"at":0,"job":"a","work":10}],"replan":"lazy"}`, "replan mode"},
+		{"odd-max-nodes", `{"cluster":{"nodes":8,"platform":{"preset":"pizdaint"}},` +
+			`"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32,"max_nodes":3}],` +
+			`"events":[{"at":0,"job":"a","work":10}]}`, "max_nodes"},
+		{"unknown-field", `{"cluster":{"nodes":8,"platform":{"preset":"pizdaint"}},` +
+			`"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32}],` +
+			`"events":[{"at":0,"job":"a","work":10}],"chaos":true}`, "unknown field"},
+		{"trailing", `{"cluster":{"nodes":8,"platform":{"preset":"pizdaint"}},` +
+			`"jobs":[{"name":"a","model":{"preset":"bert48"},"mini_batch":32}],` +
+			`"events":[{"at":0,"job":"a","work":10}]} garbage`, "trailing"},
+	}
+	for _, tc := range cases {
+		status, body := post(t, ts, "/v1/fleet/simulate", tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, status, body)
+			continue
+		}
+		if !strings.Contains(string(body), tc.want) {
+			t.Errorf("%s: body %q does not mention %q", tc.name, body, tc.want)
+		}
 	}
 }
 

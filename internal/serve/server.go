@@ -62,6 +62,11 @@ type Server struct {
 	// equal resolved requests encode to equal bytes).
 	fleetCache *engine.Memo[string, planOutcome]
 
+	// fleetSimCache is the same for /v1/fleet/simulate, keyed by the
+	// canonical JSON of the resolved scenario (classic or elastic — the two
+	// marshal to distinct shapes, so keys cannot collide across modes).
+	fleetSimCache *engine.Memo[string, planOutcome]
+
 	// allocator carries the fleet allocator's plan memo across requests
 	// (it shares the server's engine underneath).
 	allocator *fleet.Allocator
@@ -69,8 +74,8 @@ type Server struct {
 	// started anchors /healthz's uptime report.
 	started time.Time
 
-	plan, fleetPlan, simulate, analyze, schedules, render, health, stats atomic.Uint64
-	shed, clientErrors, serverErrors                                     atomic.Uint64
+	plan, fleetPlan, fleetSim, simulate, analyze, schedules, render, health, stats atomic.Uint64
+	shed, clientErrors, serverErrors                                               atomic.Uint64
 }
 
 // planOutcome is one cached plan: exactly one of body and err is set.
@@ -101,18 +106,20 @@ func New(cfg Config) *Server {
 		drain = 15 * time.Second
 	}
 	s := &Server{
-		eng:          eng,
-		inflight:     make(chan struct{}, maxInflight),
-		maxInflight:  maxInflight,
-		drainTimeout: drain,
-		planCache:    engine.NewMemoCap[perfmodel.PlanRequest, planOutcome](cfg.CacheCapacity),
-		fleetCache:   engine.NewMemoCap[string, planOutcome](cfg.CacheCapacity),
-		allocator:    fleet.NewAllocatorCap(eng, cfg.CacheCapacity),
-		started:      time.Now(),
+		eng:           eng,
+		inflight:      make(chan struct{}, maxInflight),
+		maxInflight:   maxInflight,
+		drainTimeout:  drain,
+		planCache:     engine.NewMemoCap[perfmodel.PlanRequest, planOutcome](cfg.CacheCapacity),
+		fleetCache:    engine.NewMemoCap[string, planOutcome](cfg.CacheCapacity),
+		fleetSimCache: engine.NewMemoCap[string, planOutcome](cfg.CacheCapacity),
+		allocator:     fleet.NewAllocatorCap(eng, cfg.CacheCapacity),
+		started:       time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.admitted(s.handlePlan))
 	mux.HandleFunc("POST /v1/fleet/plan", s.admitted(s.handleFleetPlan))
+	mux.HandleFunc("POST /v1/fleet/simulate", s.admitted(s.handleFleetSimulate))
 	mux.HandleFunc("POST /v1/simulate", s.admitted(s.handleSimulate))
 	mux.HandleFunc("POST /v1/analyze", s.admitted(s.handleAnalyze))
 	mux.HandleFunc("POST /v1/render", s.admitted(s.handleRender))
@@ -283,6 +290,81 @@ func (s *Server) handleFleetPlan(w http.ResponseWriter, r *http.Request) {
 	w.Write(out.body)
 }
 
+// handleFleetSimulate replays a fleet scenario — classic (trace) or
+// elastic (events with node churn). Responses cache under the canonical
+// JSON of the resolved scenario, and both reply shapes encode through the
+// same constructors chimera-fleet -json uses, so a served simulation is
+// byte-identical to the in-process encoding.
+func (s *Server) handleFleetSimulate(w http.ResponseWriter, r *http.Request) {
+	s.fleetSim.Add(1)
+	var sc FleetScenario
+	if err := DecodeStrict(r.Body, &sc); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	var key []byte
+	var run func() (any, error)
+	if sc.Elastic() {
+		esc, err := sc.ResolveElastic()
+		if err != nil {
+			s.badRequest(w, err)
+			return
+		}
+		if key, err = json.Marshal(esc); err != nil {
+			s.serverErrors.Add(1)
+			s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "encoding failure"})
+			return
+		}
+		run = func() (any, error) {
+			res, err := s.allocator.SimulateElastic(esc)
+			if err != nil {
+				return nil, err
+			}
+			return NewFleetElasticResponse(res), nil
+		}
+	} else {
+		csc, err := sc.Resolve()
+		if err != nil {
+			s.badRequest(w, err)
+			return
+		}
+		if len(csc.Trace) == 0 {
+			s.badRequest(w, errEmptyFleetTrace)
+			return
+		}
+		if key, err = json.Marshal(csc); err != nil {
+			s.serverErrors.Add(1)
+			s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "encoding failure"})
+			return
+		}
+		run = func() (any, error) {
+			res, err := s.allocator.Simulate(csc)
+			if err != nil {
+				return nil, err
+			}
+			return NewFleetSimResponse(res), nil
+		}
+	}
+	out := s.fleetSimCache.Do(string(key), func() planOutcome {
+		resp, err := run()
+		if err != nil {
+			return planOutcome{err: err}
+		}
+		raw, err := json.Marshal(resp)
+		if err != nil {
+			return planOutcome{err: err}
+		}
+		return planOutcome{body: raw}
+	})
+	if out.err != nil {
+		s.unprocessable(w, out.err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(out.body)
+}
+
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.simulate.Add(1)
 	var req SimulateRequest
@@ -439,17 +521,19 @@ func BuildVersion() string {
 func (s *Server) Snapshot() StatsResponse {
 	return StatsResponse{
 		Requests: RequestCounts{
-			Plan: s.plan.Load(), FleetPlan: s.fleetPlan.Load(), Simulate: s.simulate.Load(),
-			Analyze: s.analyze.Load(), Schedules: s.schedules.Load(),
+			Plan: s.plan.Load(), FleetPlan: s.fleetPlan.Load(), FleetSimulate: s.fleetSim.Load(),
+			Simulate: s.simulate.Load(),
+			Analyze:  s.analyze.Load(), Schedules: s.schedules.Load(),
 			Render: s.render.Load(), Health: s.health.Load(), Stats: s.stats.Load(),
 		},
-		Shed:         s.shed.Load(),
-		ClientErrors: s.clientErrors.Load(),
-		ServerErrors: s.serverErrors.Load(),
-		MaxInflight:  s.maxInflight,
-		PlanCache:    memoStats(s.planCache),
-		FleetCache:   memoStats(s.fleetCache),
-		Engine:       NewEngineStats(s.eng.WorkerCount(), s.eng.Stats()),
+		Shed:          s.shed.Load(),
+		ClientErrors:  s.clientErrors.Load(),
+		ServerErrors:  s.serverErrors.Load(),
+		MaxInflight:   s.maxInflight,
+		PlanCache:     memoStats(s.planCache),
+		FleetCache:    memoStats(s.fleetCache),
+		FleetSimCache: memoStats(s.fleetSimCache),
+		Engine:        NewEngineStats(s.eng.WorkerCount(), s.eng.Stats()),
 	}
 }
 
@@ -463,3 +547,9 @@ type errUnknownFormat string
 func (e errUnknownFormat) Error() string {
 	return "render: unknown format \"" + string(e) + "\" (have ascii, svg, chrome)"
 }
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+const errEmptyFleetTrace = errString("fleet: scenario has neither a trace nor events to simulate")

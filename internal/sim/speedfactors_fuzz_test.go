@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+)
+
+// FuzzDecodeSpeedFactors hammers the speed-factor string codec: any input
+// the decoder accepts must round-trip exactly through the canonical
+// encoding (Decode ∘ Encode = identity on decoded values), every accepted
+// factor must be within the quantization-safe bounds, and re-decoding the
+// canonical form must never fail — the property the engine's comparable
+// cache keys (engine.Spec, perfmodel.PlanRequest) depend on. The committed
+// seed corpus (testdata/fuzz) covers the canonical, whitespace, exponent,
+// boundary and rejection shapes; CI additionally fuzzes for a bounded time.
+func FuzzDecodeSpeedFactors(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"1",
+		"1,2,0.5",
+		"1e-6,1e6",
+		" 1 , 2.5 ,3",
+		"1.0000000000000002,0.30000000000000004",
+		"9.999999999999999e5,1.0000000001e-6",
+		"nan,inf",
+		"1,,2",
+		"0,1",
+		"-1",
+		"1e7",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, enc string) {
+		dec, err := DecodeSpeedFactors(enc)
+		if err != nil {
+			return // rejected input — nothing to round-trip
+		}
+		if enc == "" && dec != nil {
+			t.Fatalf("empty encoding decoded to %v, want nil", dec)
+		}
+		for i, v := range dec {
+			if !(v >= MinSpeedFactor && v <= MaxSpeedFactor) {
+				t.Fatalf("decoder accepted out-of-bounds factor %g at %d from %q", v, i, enc)
+			}
+		}
+		canon := EncodeSpeedFactors(dec)
+		dec2, err := DecodeSpeedFactors(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q fails to decode: %v", canon, enc, err)
+		}
+		if len(dec) != len(dec2) {
+			t.Fatalf("round-trip length %d != %d (%q → %q)", len(dec), len(dec2), enc, canon)
+		}
+		for i := range dec {
+			if dec[i] != dec2[i] {
+				t.Fatalf("factor %d drifted: %g != %g (%q → %q)", i, dec[i], dec2[i], enc, canon)
+			}
+		}
+		// The canonical form is a fixed point: encoding the re-decoded
+		// values reproduces it byte-for-byte.
+		if again := EncodeSpeedFactors(dec2); again != canon {
+			t.Fatalf("canonical encoding unstable: %q → %q", canon, again)
+		}
+	})
+}
