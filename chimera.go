@@ -39,12 +39,18 @@ import (
 type (
 	// Schedule is a per-worker pipeline program (see internal/schedule).
 	Schedule = schedule.Schedule
+	// ScheduleSpec is the unified schedule request for Build: scheme,
+	// placement policy (scheduler), shape, and the policy's inputs.
+	ScheduleSpec = schedule.Spec
 	// ChimeraConfig parameterizes NewChimera.
 	ChimeraConfig = schedule.ChimeraConfig
 	// ConcatMode selects the N > D scaling method (§3.5).
 	ConcatMode = schedule.ConcatMode
 	// CostModel supplies unit op costs for schedule analysis.
 	CostModel = schedule.CostModel
+	// Scheduler is a placement policy re-shaping schedules for
+	// heterogeneous clusters (see Schedulers for the registered names).
+	Scheduler = schedule.Scheduler
 )
 
 // Concatenation modes for Chimera beyond N = D micro-batches.
@@ -54,17 +60,36 @@ const (
 	BackwardHalving = schedule.BackwardHalving
 )
 
+// Build constructs the schedule a ScheduleSpec describes: the named scheme
+// re-placed by the named scheduler ("" or "fixed" keeps the scheme's own
+// placement, bit-identical to the deprecated constructors below). This is
+// the preferred construction entry point.
+func Build(spec ScheduleSpec) (*Schedule, error) { return schedule.Build(spec) }
+
 // NewChimera builds a bidirectional pipeline schedule (§3.1–§3.6).
-func NewChimera(cfg ChimeraConfig) (*Schedule, error) { return schedule.Chimera(cfg) }
+//
+// Deprecated: use Build with ScheduleSpec{Scheme: "chimera", D: …, N: …,
+// F: …, Concat: …}; this wrapper remains for compatibility and produces
+// bit-identical schedules.
+func NewChimera(cfg ChimeraConfig) (*Schedule, error) {
+	return Build(ScheduleSpec{Scheme: "chimera", D: cfg.D, N: cfg.N, F: cfg.F, Concat: cfg.Concat})
+}
 
 // NewSchedule builds any supported scheme by name: "chimera", "gpipe",
 // "dapple", "gems", "pipedream", "pipedream-2bw", "1f1b".
+//
+// Deprecated: use Build with ScheduleSpec{Scheme: scheme, D: d, N: n}; this
+// wrapper remains for compatibility and produces bit-identical schedules.
 func NewSchedule(scheme string, d, n int) (*Schedule, error) {
-	return schedule.ByName(scheme, d, n)
+	return Build(ScheduleSpec{Scheme: scheme, D: d, N: n})
 }
 
 // Schemes lists the supported scheme names.
 func Schemes() []string { return schedule.Schemes() }
+
+// Schedulers lists the registered placement-policy names ("fixed" first) —
+// the ScheduleSpec.Scheduler vocabulary, companion to Schemes.
+func Schedulers() []string { return schedule.Schedulers() }
 
 // Analyze computes bubble ratios and memory profiles (Table 2 units).
 func Analyze(s *Schedule) (*schedule.Analysis, error) { return schedule.Analyze(s) }

@@ -79,6 +79,9 @@ func runSweepBench(out, fleetOut string, passes int) error {
 		fmt.Printf("replay benchmark: graph pass vs map interpreter, min D=16 speedup %.1fx over %d cases\n",
 			b.Replay.MinSpeedupD16, len(b.Replay.Cases))
 	}
+	if b.Schedulers != nil {
+		fmt.Println(b.Schedulers)
+	}
 	fmt.Printf("wrote %s\n", out)
 	if b.Fleet != nil && fleetOut != "" {
 		if err := writeJSON(fleetOut, b.Fleet); err != nil {

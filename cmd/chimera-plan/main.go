@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"chimera/internal/engine"
 	"chimera/internal/perfmodel"
+	"chimera/internal/schedule"
 	"chimera/internal/serve"
 	"chimera/internal/sim"
 )
@@ -28,6 +30,7 @@ func main() {
 	maxB := flag.Int("maxb", 64, "micro-batch search ceiling")
 	platform := flag.String("platform", "pizdaint", "platform: pizdaint|v100")
 	speed := flag.String("speed", "", "per-worker speed factors, comma-separated; fixes pipeline depth D to the list length")
+	scheduler := flag.String("scheduler", "", "placement policy: "+strings.Join(schedule.Schedulers(), "|")+"|auto (list policies re-shape the pipeline around -speed stragglers; auto sweeps all)")
 	workers := flag.Int("workers", 0, "planner worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit the /v1/plan wire format instead of the table")
 	flag.Parse()
@@ -52,6 +55,7 @@ func main() {
 	req := perfmodel.PlanRequest{
 		Model: m, P: *p, MiniBatch: *bhat, MaxB: *maxB,
 		SpeedFactors: sim.EncodeSpeedFactors(factors),
+		Scheduler:    *scheduler,
 		Device:       dev, Network: net,
 	}
 	eng := engine.Default()
@@ -73,13 +77,17 @@ func main() {
 		return
 	}
 	fmt.Printf("%s on %d workers, B̂=%d — Chimera configurations ranked by Eq. 1:\n", m.Name, *p, *bhat)
-	fmt.Printf("%-4s %-4s %-4s %-4s %-10s %-12s %-12s %s\n", "W", "D", "B", "N", "recompute", "iter (s)", "seq/s", "critical path")
+	fmt.Printf("%-4s %-4s %-4s %-4s %-10s %-9s %-12s %-12s %s\n", "W", "D", "B", "N", "recompute", "placement", "iter (s)", "seq/s", "critical path")
 	for i, pr := range preds {
 		marker := " "
 		if i == 0 {
 			marker = "*"
 		}
-		fmt.Printf("%s %-4d %-4d %-4d %-4d %-10v %-12.4f %-12.1f Cf=%d Cb=%d\n",
-			marker, pr.W, pr.D, pr.B, pr.N, pr.Recompute, pr.IterTime, pr.Throughput, pr.Cf, pr.Cb)
+		pol := pr.Scheduler
+		if pol == "" {
+			pol = "fixed"
+		}
+		fmt.Printf("%s %-4d %-4d %-4d %-4d %-10v %-9s %-12.4f %-12.1f Cf=%d Cb=%d\n",
+			marker, pr.W, pr.D, pr.B, pr.N, pr.Recompute, pol, pr.IterTime, pr.Throughput, pr.Cf, pr.Cb)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"chimera/internal/schedule"
 	"chimera/internal/serve"
@@ -33,6 +34,7 @@ func main() {
 	recompute := flag.Bool("recompute", false, "force activation recomputation")
 	auto := flag.Bool("auto", true, "enable recomputation automatically when memory requires it")
 	speed := flag.String("speed", "", "per-worker speed factors, comma-separated (e.g. 1,1,1.5,1 — one per stage; 1.5 = 1.5x slower straggler)")
+	scheduler := flag.String("scheduler", "fixed", "placement policy: "+strings.Join(schedule.Schedulers(), "|")+" (list policies re-shape the pipeline around -speed stragglers)")
 	jsonOut := flag.Bool("json", false, "emit the /v1/simulate wire format instead of the report")
 	flag.Parse()
 
@@ -42,24 +44,22 @@ func main() {
 		check(fmt.Errorf("B̂=%d not divisible by W·B=%d", *bhat, *w**b))
 	}
 	n := *bhat / (*w * *b)
-	var s *schedule.Schedule
-	if *scheme == "chimera" {
-		mode := schedule.Direct
-		switch *concat {
-		case "doubling":
-			mode = schedule.ForwardDoubling
-		case "halving":
-			mode = schedule.BackwardHalving
-		}
-		s, err = schedule.Chimera(schedule.ChimeraConfig{D: *d, N: n, F: *f, Concat: mode})
-	} else {
-		s, err = schedule.ByName(*scheme, *d, n)
+	factors, err := sim.DecodeSpeedFactors(*speed)
+	check(err)
+	mode := schedule.Direct
+	switch *concat {
+	case "doubling":
+		mode = schedule.ForwardDoubling
+	case "halving":
+		mode = schedule.BackwardHalving
 	}
+	s, err := schedule.Build(schedule.Spec{
+		Scheme: *scheme, Scheduler: *scheduler, D: *d, N: n, F: *f,
+		Concat: mode, SpeedFactors: factors,
+	})
 	check(err)
 
 	dev, net, err := serve.ResolvePlatform(*platform)
-	check(err)
-	factors, err := sim.DecodeSpeedFactors(*speed)
 	check(err)
 	cfg := sim.Config{Model: m, Schedule: s, MicroBatch: *b, W: *w, Recompute: *recompute,
 		SpeedFactors: factors, Device: dev, Network: net}

@@ -37,6 +37,14 @@ type ScheduleKey struct {
 	F int
 	// Concat is Chimera's N > D scaling method (ignored by other schemes).
 	Concat schedule.ConcatMode
+	// Scheduler is the placement policy ("" = the scheme's fixed placement;
+	// otherwise a schedule.Schedulers() name re-shaping the schedule).
+	Scheduler string
+	// Speed carries the placement speed factors for a list scheduler in
+	// sim.EncodeSpeedFactors' canonical string form (keys must stay
+	// comparable value types). "" with a non-empty Scheduler means the
+	// policy sees a homogeneous cluster and defers to the fixed placement.
+	Speed string
 }
 
 // ChimeraKey is shorthand for a Chimera schedule key. F is canonicalized
@@ -54,6 +62,19 @@ func ChimeraKey(d, n, f int, concat schedule.ConcatMode) ScheduleKey {
 // branch); non-chimera schemes ignore F and Concat entirely. Every memo
 // boundary (Schedule, CriticalPath, Evaluate) canonicalizes first.
 func (k ScheduleKey) canonical() ScheduleKey {
+	// The placement-policy axis: "fixed" is the identity policy, and every
+	// list policy defers to the fixed placement when its speed factors carry
+	// no heterogeneity signal, so all of those keys collapse onto the fixed
+	// representative (Scheduler "", Speed ""). An undecodable Speed string
+	// is left as-is for buildSchedule to reject.
+	if k.Scheduler == "fixed" {
+		k.Scheduler = ""
+	}
+	if k.Scheduler == "" {
+		k.Speed = ""
+	} else if factors, err := sim.DecodeSpeedFactors(k.Speed); err == nil && schedule.UniformSpeed(factors) {
+		k.Scheduler, k.Speed = "", ""
+	}
 	if k.Scheme != "chimera" {
 		k.F, k.Concat = 0, schedule.Direct
 		return k
@@ -71,7 +92,13 @@ func (k ScheduleKey) canonical() ScheduleKey {
 // the inverse of buildSchedule and guards the cache's canonical-key
 // invariant (see the engine tests).
 func keyOf(s *schedule.Schedule) ScheduleKey {
-	k := ScheduleKey{Scheme: s.Scheme, D: s.D, N: s.N}
+	k := ScheduleKey{
+		Scheme:    s.Scheme,
+		D:         s.D,
+		N:         s.N,
+		Scheduler: s.Scheduler,
+		Speed:     sim.EncodeSpeedFactors(s.PlacementSpeed),
+	}
 	if s.Scheme == "chimera" {
 		k.F = s.F
 		// Backward halving reuses the doubled-forward op structure, so a
@@ -279,6 +306,17 @@ func (e *Engine) Schedule(key ScheduleKey) (*schedule.Schedule, error) {
 }
 
 func buildSchedule(key ScheduleKey) (*schedule.Schedule, error) {
+	if key.Scheduler != "" {
+		factors, err := sim.DecodeSpeedFactors(key.Speed)
+		if err != nil {
+			return nil, err
+		}
+		return schedule.Build(schedule.Spec{
+			Scheme: key.Scheme, Scheduler: key.Scheduler,
+			D: key.D, N: key.N, F: key.F, Concat: key.Concat,
+			SpeedFactors: factors,
+		})
+	}
 	if key.Scheme == "chimera" {
 		return schedule.Chimera(schedule.ChimeraConfig{
 			D: key.D, N: key.N, F: key.F, Concat: key.Concat,

@@ -50,6 +50,12 @@ type SweepBenchmark struct {
 	// Fleet.Deterministic. chimera-bench also writes this section alone
 	// as BENCH_fleet.json.
 	Fleet *FleetBenchmark `json:"fleet"`
+
+	// Schedulers benchmarks the placement-policy zoo on a straggled
+	// pipeline; CI gates Schedulers.ListBeatsFixed — a list-scheduled
+	// placement must strictly beat the best fixed scheme on the severe
+	// straggler case.
+	Schedulers *SchedulerBenchmark `json:"schedulers"`
 }
 
 // SweepBenchSide is one side (serial reference or engine) of the benchmark.
@@ -153,6 +159,12 @@ func BenchmarkSweep(passes int) (*SweepBenchmark, error) {
 		return nil, err
 	}
 	b.Fleet = fleetBench
+
+	schedBench, err := BenchmarkSchedulers()
+	if err != nil {
+		return nil, err
+	}
+	b.Schedulers = schedBench
 
 	b.IdenticalRanking = true
 	sr, pr := rankOutcomes(serialOuts), rankOutcomes(parallelOuts)

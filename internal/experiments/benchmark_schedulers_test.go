@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestBenchmarkSchedulers: the CI-gated property — on the severe straggler
+// case, at least one list-scheduled placement strictly beats the best
+// fixed-placement scheme — plus matrix bookkeeping.
+func TestBenchmarkSchedulers(t *testing.T) {
+	b, err := BenchmarkSchedulers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.ListBeatsFixed {
+		t.Fatalf("no list scheduler beat the best fixed scheme at ×%.1f: fixed %+v vs list %+v",
+			b.SevereSeverity, b.BestFixed, b.BestList)
+	}
+	if !(b.Advantage > 1) {
+		t.Fatalf("advantage %.3f not > 1", b.Advantage)
+	}
+	if b.BestList.Scheduler == "" || b.BestList.Scheduler == "fixed" {
+		t.Fatalf("best list entry carries scheduler %q", b.BestList.Scheduler)
+	}
+	// 3 schemes × 4 schedulers × 4 severities.
+	if want := 3 * 4 * 4; len(b.Points) != want {
+		t.Fatalf("matrix has %d points, want %d", len(b.Points), want)
+	}
+	cells := make(map[string]bool, len(b.Points))
+	for _, p := range b.Points {
+		k := p.Scheme + "/" + p.Scheduler
+		cells[k] = true
+		if p.Throughput <= 0 && !p.OOM {
+			t.Fatalf("cell %s at ×%.2f has zero throughput but no OOM mark", k, p.Severity)
+		}
+	}
+	for _, scheme := range []string{"chimera", "gpipe", "dapple"} {
+		for _, sched := range []string{"fixed", "heft", "cpop", "lb"} {
+			if !cells[scheme+"/"+sched] {
+				t.Fatalf("matrix missing cell %s/%s", scheme, sched)
+			}
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 
 	"chimera/internal/engine"
 	"chimera/internal/perfmodel"
+	"chimera/internal/schedule"
+	"chimera/internal/sim"
 )
 
 // node is one cluster node with its straggler factor.
@@ -30,7 +32,13 @@ type JobAllocation struct {
 	// StragglerFactor is the speed factor of the slowest node the plan
 	// uses (1 on a homogeneous cluster): synchronous training runs at that
 	// node's pace, so Throughput = Plan.Throughput / StragglerFactor.
+	// List-scheduled plans (Scheduler != "") fold the per-node factors into
+	// the prediction itself and report StragglerFactor 1, keeping the
+	// Throughput = Plan.Throughput / StragglerFactor identity.
 	StragglerFactor float64
+	// Scheduler is the placement policy behind the chosen plan: "" for the
+	// scheme's fixed placement, otherwise a schedule.Schedulers() name.
+	Scheduler string
 	// Plan is the §3.4 selection for NodesUsed workers; nil when the
 	// job's share admits no feasible configuration (Throughput 0).
 	Plan       *perfmodel.Prediction
@@ -140,6 +148,7 @@ func (a *Allocator) Allocate(req Request) (*Allocation, error) {
 		if v.pred != nil {
 			ja.Plan, ja.NodesUsed = v.pred, v.used
 			ja.StragglerFactor = v.factor
+			ja.Scheduler = v.pred.Scheduler
 			ja.Throughput = v.tp
 			ja.Weighted = j.priority() * v.tp
 		}
@@ -195,10 +204,29 @@ func equalSplit(pool []node, jobs int) [][]node {
 // homogeneous workers; nil (no error) when p admits no feasible
 // configuration.
 func (a *Allocator) planBest(c Cluster, j Job, p int) (*perfmodel.Prediction, error) {
-	req := perfmodel.PlanRequest{
+	return a.plan(perfmodel.PlanRequest{
 		Model: j.Model, P: p, MiniBatch: j.MiniBatch, MaxB: j.MaxB,
 		Device: c.Device, Network: c.Network,
-	}
+	})
+}
+
+// planList is planBest with the share's actual per-node factors and the
+// cluster's placement policy: the planner sweeps list-scheduled placements
+// re-shaped around the stragglers (restricted to D = node count, so the
+// factors describe exactly those workers). The prediction already pays the
+// stragglers positionally — no division by the slowest factor afterwards.
+func (a *Allocator) planList(c Cluster, j Job, factors []float64) (*perfmodel.Prediction, error) {
+	return a.plan(perfmodel.PlanRequest{
+		Model: j.Model, P: len(factors), MiniBatch: j.MiniBatch, MaxB: j.MaxB,
+		Device: c.Device, Network: c.Network,
+		SpeedFactors: sim.EncodeSpeedFactors(factors),
+		Scheduler:    c.Scheduler,
+	})
+}
+
+// plan memoizes the best prediction for a full PlanRequest; nil (no error)
+// when the request admits no feasible configuration.
+func (a *Allocator) plan(req perfmodel.PlanRequest) (*perfmodel.Prediction, error) {
 	out := a.plans.Do(req, func() planResult {
 		preds, err := perfmodel.PlanOn(a.eng, req)
 		if err != nil {
@@ -299,6 +327,10 @@ func (a *Allocator) greedyGrow(c Cluster, jobs []Job, shares [][]node, rest []no
 // absorbing ever more quanta.
 func (a *Allocator) prefixValues(c Cluster, j Job, nodes []node) ([]jobValue, error) {
 	vals := make([]jobValue, len(nodes)+1)
+	factors := make([]float64, len(nodes))
+	for i, n := range nodes {
+		factors[i] = n.Factor
+	}
 	var best jobValue
 	maxFactor := 0.0
 	for q := Quantum; q <= len(nodes); q += Quantum {
@@ -318,6 +350,18 @@ func (a *Allocator) prefixValues(c Cluster, j Job, nodes []node) ([]jobValue, er
 		if pred != nil {
 			if tp := pred.Throughput / maxFactor; best.pred == nil || tp > best.tp {
 				best = jobValue{pred: pred, used: q, factor: maxFactor, tp: tp}
+			}
+		}
+		// The list-scheduled bid: only worth planning when the prefix is
+		// genuinely heterogeneous — on uniform factors every policy defers
+		// to the fixed placement and the candidate duplicates the one above.
+		if c.Scheduler != "" && !schedule.UniformSpeed(factors[:q]) {
+			hp, err := a.planList(c, j, factors[:q])
+			if err != nil {
+				return nil, err
+			}
+			if hp != nil && (best.pred == nil || hp.Throughput > best.tp) {
+				best = jobValue{pred: hp, used: q, factor: 1, tp: hp.Throughput}
 			}
 		}
 		vals[q] = best
@@ -351,8 +395,12 @@ func (al *Allocation) String() string {
 			s += fmt.Sprintf("  %-16s prio %-4g nodes %-3d  infeasible in its share\n", j.Job, j.Priority, j.Nodes)
 			continue
 		}
-		s += fmt.Sprintf("  %-16s prio %-4g nodes %-3d uses %-3d W=%-3d D=%-3d B=%-3d %6.1f seq/s (×%g straggler) weighted %.1f\n",
-			j.Job, j.Priority, j.Nodes, j.NodesUsed, j.Plan.W, j.Plan.D, j.Plan.B, j.Throughput, j.StragglerFactor, j.Weighted)
+		pol := ""
+		if j.Scheduler != "" {
+			pol = " [" + j.Scheduler + "]"
+		}
+		s += fmt.Sprintf("  %-16s prio %-4g nodes %-3d uses %-3d W=%-3d D=%-3d B=%-3d %6.1f seq/s (×%g straggler)%s weighted %.1f\n",
+			j.Job, j.Priority, j.Nodes, j.NodesUsed, j.Plan.W, j.Plan.D, j.Plan.B, j.Throughput, j.StragglerFactor, pol, j.Weighted)
 	}
 	return s
 }

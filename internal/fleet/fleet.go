@@ -23,7 +23,10 @@
 // prediction divided by the factor of the slowest node its plan actually
 // uses — the synchronous-training bound the straggler ablation
 // (ablation-heterogeneous) measures: a pipeline runs at its slowest
-// worker's pace.
+// worker's pace. Setting Cluster.Scheduler lets heterogeneous shares
+// additionally bid with a list-scheduled plan (HEFT and friends re-shape
+// the placement around the share's actual per-node factors) and the
+// allocator keeps whichever candidate predicts higher throughput.
 //
 // Everything here is deterministic like every other sweep in the repo:
 // allocation results are in job input order, every comparison carries a
@@ -37,6 +40,7 @@ import (
 	"math"
 
 	"chimera/internal/model"
+	"chimera/internal/schedule"
 	"chimera/internal/sim"
 )
 
@@ -78,6 +82,13 @@ type Cluster struct {
 	// deviation.
 	Device  sim.Device
 	Network sim.Network
+	// Scheduler, when non-empty, lets heterogeneous shares additionally
+	// bid with a list-scheduled plan (a schedule.Schedulers() name or
+	// "auto"): the planner re-shapes the placement around the share's
+	// actual per-node factors instead of bounding the whole pipeline by
+	// its slowest node. Empty keeps the pre-policy behavior — homogeneous
+	// plans divided by the straggler factor.
+	Scheduler string
 }
 
 // Job is one training job asking for nodes.
@@ -148,6 +159,11 @@ func (r Request) Validate() error {
 		if !(f >= sim.MinSpeedFactor && f <= sim.MaxSpeedFactor) {
 			return fmt.Errorf("fleet: speed_factors[%d] = %g out of range [%g, %g]",
 				i, f, float64(sim.MinSpeedFactor), float64(sim.MaxSpeedFactor))
+		}
+	}
+	if s := r.Cluster.Scheduler; s != "" && s != "fixed" && s != "auto" {
+		if _, err := schedule.SchedulerByName(s); err != nil {
+			return fmt.Errorf("fleet: %w", err)
 		}
 	}
 	if len(r.Jobs) == 0 {

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"testing"
+
+	"chimera/internal/engine"
+	"chimera/internal/model"
+)
+
+// TestSchedulerCandidateWins: on a straggled cluster, letting shares bid
+// with a list-scheduled plan must strictly improve the fleet objective —
+// HEFT re-shapes the placement around the slow node instead of either
+// bounding the whole pipeline by it or leaving it idle.
+func TestSchedulerCandidateWins(t *testing.T) {
+	factors := []float64{1, 1, 1, 1, 1, 1, 1, 2}
+	job := []Job{{Name: "gpt2", Model: model.GPT2Small32(), MiniBatch: 512, MaxB: 8}}
+	e := engine.New()
+
+	base := mustAllocate(t, e, Request{Cluster: pizDaintCluster(8, factors), Jobs: job})
+	het := pizDaintCluster(8, factors)
+	het.Scheduler = "heft"
+	listed := mustAllocate(t, e, Request{Cluster: het, Jobs: job})
+
+	if !(listed.WeightedThroughput > base.WeightedThroughput) {
+		t.Fatalf("list-scheduled allocation %.2f did not beat slowest-node bound %.2f",
+			listed.WeightedThroughput, base.WeightedThroughput)
+	}
+	j := listed.Jobs[0]
+	if j.Scheduler == "" || j.Scheduler == "fixed" {
+		t.Fatalf("winning plan's scheduler = %q, want a list policy", j.Scheduler)
+	}
+	if j.StragglerFactor != 1 {
+		t.Fatalf("list-scheduled share reports straggler factor %g, want 1", j.StragglerFactor)
+	}
+	if j.Throughput != j.Plan.Throughput {
+		t.Fatalf("Throughput %g != Plan.Throughput %g for a list-scheduled share",
+			j.Throughput, j.Plan.Throughput)
+	}
+	if base.Jobs[0].Scheduler != "" {
+		t.Fatalf("baseline allocation unexpectedly list-scheduled: %q", base.Jobs[0].Scheduler)
+	}
+}
+
+// TestSchedulerHomogeneousUnchanged: on a homogeneous cluster the scheduler
+// option is inert — every policy defers to the fixed placement, so the
+// allocation is identical to the pre-policy one.
+func TestSchedulerHomogeneousUnchanged(t *testing.T) {
+	jobs := benchMix()
+	e := engine.New(engine.Workers(1))
+	base := mustAllocate(t, e, Request{Cluster: pizDaintCluster(16, nil), Jobs: jobs})
+	het := pizDaintCluster(16, nil)
+	het.Scheduler = "auto"
+	listed := mustAllocate(t, e, Request{Cluster: het, Jobs: jobs})
+	if base.WeightedThroughput != listed.WeightedThroughput {
+		t.Fatalf("scheduler option changed a homogeneous allocation: %.4f vs %.4f",
+			base.WeightedThroughput, listed.WeightedThroughput)
+	}
+	for i := range listed.Jobs {
+		if listed.Jobs[i].Scheduler != "" {
+			t.Fatalf("job %q list-scheduled on a homogeneous cluster", listed.Jobs[i].Job)
+		}
+	}
+}
+
+// TestSchedulerValidate: unknown scheduler names are rejected up front.
+func TestSchedulerValidate(t *testing.T) {
+	c := pizDaintCluster(8, nil)
+	c.Scheduler = "peft"
+	err := Request{Cluster: c, Jobs: benchMix()}.Validate()
+	if err == nil {
+		t.Fatal("unknown cluster scheduler must fail validation")
+	}
+}

@@ -44,6 +44,9 @@ type Prediction struct {
 	Cf, Cb     int
 	IterTime   float64
 	Throughput float64
+	// Scheduler is the placement policy behind the prediction: "" for the
+	// scheme's fixed placement, otherwise a schedule.Schedulers() name.
+	Scheduler string
 }
 
 // Predict evaluates Eq. 1 for a Chimera configuration.
@@ -180,6 +183,14 @@ type PlanRequest struct {
 	// When set, the search is restricted to configurations whose pipeline
 	// depth D equals the factor count (the factors describe those workers).
 	SpeedFactors string
+	// Scheduler selects the placement-policy axis of the search: "" or
+	// "fixed" plans the scheme's own placement only; a schedule.Schedulers()
+	// name plans that policy; "auto" sweeps fixed plus every list policy and
+	// lets the ranking decide. With homogeneous (or absent) speed factors
+	// every list policy defers to the fixed placement, so the search
+	// collapses to fixed and predictions are bit-identical to pre-policy
+	// plans.
+	Scheduler string
 }
 
 // ErrInfeasible reports that a plan request admits no feasible (W, D, B)
@@ -208,7 +219,15 @@ func PlanOn(e *engine.Engine, req PlanRequest) ([]*Prediction, error) {
 	if err != nil {
 		return nil, fmt.Errorf("perfmodel: %w", err)
 	}
-	var ds []int
+	scheds, err := plannerSchedulers(req.Scheduler, factors)
+	if err != nil {
+		return nil, fmt.Errorf("perfmodel: %w", err)
+	}
+	type candidate struct {
+		d     int
+		sched string
+	}
+	var grid []candidate
 	for d := 2; d <= req.P; d += 2 {
 		if req.P%d != 0 || req.Model.Layers%d != 0 {
 			continue
@@ -221,13 +240,15 @@ func PlanOn(e *engine.Engine, req PlanRequest) ([]*Prediction, error) {
 			// match describe the cluster being planned for.
 			continue
 		}
-		ds = append(ds, d)
+		for _, sched := range scheds {
+			grid = append(grid, candidate{d, sched})
+		}
 	}
-	preds := make([]*Prediction, len(ds))
-	errs := make([]error, len(ds))
-	e.ForEach(len(ds), func(i int) {
-		d := ds[i]
-		preds[i], errs[i] = planOne(e, req, req.P/d, d, factors)
+	preds := make([]*Prediction, len(grid))
+	errs := make([]error, len(grid))
+	e.ForEach(len(grid), func(i int) {
+		c := grid[i]
+		preds[i], errs[i] = planOne(e, req, req.P/c.d, c.d, c.sched, factors)
 	})
 	var out []*Prediction
 	for i, p := range preds {
@@ -247,15 +268,46 @@ func PlanOn(e *engine.Engine, req PlanRequest) ([]*Prediction, error) {
 		if a.D != b.D {
 			return a.D < b.D
 		}
-		return a.B > b.B
+		if a.B != b.B {
+			return a.B > b.B
+		}
+		return a.Scheduler < b.Scheduler // fixed ("") before list policies
 	})
 	return out, nil
 }
 
-// planOne finds the greedy max-B configuration at fixed (W, D): the largest
-// power-of-two B that fits device memory without recomputation; only if no
-// B fits plainly, the largest B that fits with recomputation.
-func planOne(e *engine.Engine, req PlanRequest, w, d int, factors []float64) (*Prediction, error) {
+// plannerSchedulers expands a PlanRequest's scheduler selector into the
+// placement policies to sweep ("" denotes the fixed placement). With no
+// heterogeneity signal in the factors, every list policy defers to the fixed
+// placement, so the sweep collapses to fixed alone — planning the aliases
+// would only duplicate ranking rows.
+func plannerSchedulers(name string, factors []float64) ([]string, error) {
+	if name != "" && name != "fixed" && name != "auto" {
+		if _, err := schedule.SchedulerByName(name); err != nil {
+			return nil, err
+		}
+	}
+	if name == "" || name == "fixed" || schedule.UniformSpeed(factors) {
+		return []string{""}, nil
+	}
+	if name != "auto" {
+		return []string{name}, nil
+	}
+	out := []string{""}
+	for _, s := range schedule.Schedulers() {
+		if s != "fixed" {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// planOne finds the greedy max-B configuration at fixed (W, D, scheduler):
+// the largest power-of-two B that fits device memory without recomputation;
+// only if no B fits plainly, the largest B that fits with recomputation.
+// sched "" plans the fixed placement; a policy name plans the re-shaped
+// schedule that policy produces for the request's speed factors.
+func planOne(e *engine.Engine, req PlanRequest, w, d int, sched string, factors []float64) (*Prediction, error) {
 	perPipe := req.MiniBatch / w
 	for _, allowRecompute := range []bool{false, true} {
 		for b := req.MaxB; b >= 1; b /= 2 {
@@ -264,6 +316,10 @@ func planOne(e *engine.Engine, req PlanRequest, w, d int, factors []float64) (*P
 			}
 			n := perPipe / b
 			key := engine.ChimeraKey(d, n, 0, schedule.Direct)
+			if sched != "" {
+				key.Scheduler = sched
+				key.Speed = sim.EncodeSpeedFactors(factors)
+			}
 			sch, err := e.Schedule(key)
 			if err != nil {
 				continue
@@ -285,7 +341,12 @@ func planOne(e *engine.Engine, req PlanRequest, w, d int, factors []float64) (*P
 			if err != nil {
 				return nil, err
 			}
-			return PredictWithCritical(cfg, cf, cb)
+			pred, err := PredictWithCritical(cfg, cf, cb)
+			if err != nil {
+				return nil, err
+			}
+			pred.Scheduler = sched
+			return pred, nil
 		}
 	}
 	return nil, nil

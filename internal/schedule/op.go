@@ -96,6 +96,14 @@ type Schedule struct {
 	HalvedBackward bool
 	// MicroReplica[m] is the replica that owns micro-batch m.
 	MicroReplica []int
+	// Scheduler names the placement policy that produced this schedule
+	// ("" or "fixed" for a scheme's own hand-derived placement; "heft",
+	// "cpop", "lb" for re-shaped heterogeneous placements — scheduler.go).
+	Scheduler string
+	// PlacementSpeed holds the per-worker speed factors a list scheduler
+	// placed against (nil for fixed placement). Informational: replay cost
+	// models apply their own factors.
+	PlacementSpeed []float64
 
 	// Compiled dependency-graph IR, built lazily once per schedule (see
 	// graph.go). Generators finish all mutation before returning, so the

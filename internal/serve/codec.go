@@ -228,6 +228,10 @@ type ScheduleRef struct {
 	F int `json:"f,omitempty"`
 	// Concat is Chimera's N > D method: direct | doubling | halving.
 	Concat string `json:"concat,omitempty"`
+	// Scheduler is the placement policy: fixed (default) | heft | cpop | lb.
+	// List policies re-shape the schedule using the request's speed factors;
+	// with no (or uniform) factors they fall back to the fixed placement.
+	Scheduler string `json:"scheduler,omitempty"`
 }
 
 var concatModes = map[string]schedule.ConcatMode{
@@ -243,6 +247,22 @@ func ConcatModes() []string { return []string{"direct", "doubling", "halving"} }
 // Schemes lists every scheme name the service accepts: the Table 2 set
 // plus the 1f1b alias (schedule.ByName's full vocabulary).
 func Schemes() []string { return append(schedule.Schemes(), "1f1b") }
+
+// Schedulers lists the placement-policy names the service accepts ("fixed"
+// first), schedule.Schedulers' vocabulary.
+func Schedulers() []string { return schedule.Schedulers() }
+
+// resolveScheduler validates a wire scheduler name and returns its engine-key
+// form ("" for the fixed placement).
+func resolveScheduler(ctx, name string) (string, error) {
+	if name == "" || name == "fixed" {
+		return "", nil
+	}
+	if _, err := schedule.SchedulerByName(name); err != nil {
+		return "", fmt.Errorf("%s: unknown scheduler %q (have %s)", ctx, name, strings.Join(Schedulers(), ", "))
+	}
+	return name, nil
+}
 
 // Key validates the reference and returns the engine's schedule key.
 func (r ScheduleRef) Key() (engine.ScheduleKey, error) {
@@ -276,10 +296,18 @@ func (r ScheduleRef) Key() (engine.ScheduleKey, error) {
 	if r.F < 0 {
 		return zero, fmt.Errorf("schedule: f must be ≥ 0, got %d", r.F)
 	}
-	if r.Scheme == "chimera" {
-		return engine.ChimeraKey(r.D, r.N, r.F, mode), nil
+	sched, err := resolveScheduler("schedule", r.Scheduler)
+	if err != nil {
+		return zero, err
 	}
-	return engine.ScheduleKey{Scheme: r.Scheme, D: r.D, N: r.N}, nil
+	key := engine.ScheduleKey{Scheme: r.Scheme, D: r.D, N: r.N}
+	if r.Scheme == "chimera" {
+		key = engine.ChimeraKey(r.D, r.N, r.F, mode)
+	}
+	// The list policies' speed factors travel beside the ScheduleRef (the
+	// simulate request's speed_factors); SimulateRequest.Spec attaches them.
+	key.Scheduler = sched
+	return key, nil
 }
 
 // PlanRequest is the /v1/plan body: a §3.4 configuration-selection problem.
@@ -295,8 +323,12 @@ type PlanRequest struct {
 	// compute-time multiplier of the worker hosting pipeline position i
 	// (1 = nominal, 2 = twice as slow). When set, the plan search is
 	// restricted to configurations whose depth D equals the factor count.
-	SpeedFactors []float64   `json:"speed_factors,omitempty"`
-	Platform     PlatformRef `json:"platform"`
+	SpeedFactors []float64 `json:"speed_factors,omitempty"`
+	// Scheduler selects the placement-policy axis: fixed (default) plans the
+	// scheme's own placement; heft | cpop | lb plan that policy's re-shaped
+	// schedules; auto sweeps fixed plus every list policy.
+	Scheduler string      `json:"scheduler,omitempty"`
+	Platform  PlatformRef `json:"platform"`
 }
 
 // Resolve validates the request into a perfmodel.PlanRequest.
@@ -341,9 +373,22 @@ func (r PlanRequest) Resolve() (perfmodel.PlanRequest, error) {
 			return out, err
 		}
 	}
+	sched := r.Scheduler
+	if sched != "" && sched != "fixed" && sched != "auto" {
+		if _, err := schedule.SchedulerByName(sched); err != nil {
+			return out, fmt.Errorf("plan: unknown scheduler %q (have %s, auto)",
+				sched, strings.Join(Schedulers(), ", "))
+		}
+	}
+	if sched == "fixed" {
+		// Normalized so scheduler omitted and scheduler="fixed" share one
+		// plan-cache entry.
+		sched = ""
+	}
 	return perfmodel.PlanRequest{
 		Model: m, P: r.P, MiniBatch: r.MiniBatch, MaxB: maxB,
 		SpeedFactors: sim.EncodeSpeedFactors(r.SpeedFactors),
+		Scheduler:    sched,
 		Device:       dev, Network: net,
 	}, nil
 }
@@ -427,6 +472,12 @@ func (r SimulateRequest) Spec() (engine.Spec, error) {
 			return out, err
 		}
 	}
+	if key.Scheduler != "" {
+		// The placement policy consumes the same per-worker factors the
+		// simulator replays with; the engine collapses uniform factors back
+		// onto the fixed-placement cache entry.
+		key.Speed = sim.EncodeSpeedFactors(r.SpeedFactors)
+	}
 	return engine.Spec{
 		Sched: key, Model: m, MicroBatch: r.MicroBatch, W: r.W,
 		Recompute: r.Recompute, AutoRecompute: r.AutoRecompute,
@@ -475,6 +526,9 @@ type PredictionJSON struct {
 	IterTime  float64 `json:"iter_time"`
 	// Throughput is sequences per second (the ranking key).
 	Throughput float64 `json:"throughput"`
+	// Scheduler is the placement policy behind the row; omitted for the
+	// fixed placement, keeping pre-policy responses byte-identical.
+	Scheduler string `json:"scheduler,omitempty"`
 }
 
 // PlanResponse is the /v1/plan reply: predictions ranked best-first.
@@ -494,6 +548,7 @@ func NewPlanResponse(model string, p, miniBatch int, preds []*perfmodel.Predicti
 		out.Predictions[i] = PredictionJSON{
 			W: pr.W, D: pr.D, B: pr.B, N: pr.N, Recompute: pr.Recompute,
 			Cf: pr.Cf, Cb: pr.Cb, IterTime: pr.IterTime, Throughput: pr.Throughput,
+			Scheduler: pr.Scheduler,
 		}
 	}
 	return out
@@ -557,6 +612,7 @@ type RenderResponse struct {
 // SchedulesResponse is the /v1/schedules reply: the service's vocabulary.
 type SchedulesResponse struct {
 	Schemes     []string `json:"schemes"`
+	Schedulers  []string `json:"schedulers"`
 	ConcatModes []string `json:"concat_modes"`
 	Models      []string `json:"models"`
 	Platforms   []string `json:"platforms"`

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"chimera/internal/fleet"
+	"chimera/internal/schedule"
 )
 
 // MaxFleetJobs bounds a fleet request's job list (the fleet package
@@ -27,6 +28,10 @@ type FleetClusterRef struct {
 	// (1 = nominal); length must equal nodes.
 	SpeedFactors []float64   `json:"speed_factors,omitempty"`
 	Platform     PlatformRef `json:"platform"`
+	// Scheduler, when present, lets heterogeneous shares additionally bid
+	// with a list-scheduled plan (a /v1/schedules schedulers name or
+	// "auto"); empty keeps the slowest-node-bound behavior.
+	Scheduler string `json:"scheduler,omitempty"`
 }
 
 // FleetJobRef is one job competing for nodes.
@@ -139,6 +144,11 @@ func (r FleetPlanRequest) Resolve() (fleet.Request, error) {
 			return out, err
 		}
 	}
+	if s := r.Cluster.Scheduler; s != "" && s != "fixed" && s != "auto" {
+		if _, err := schedule.SchedulerByName(s); err != nil {
+			return out, fmt.Errorf("fleet: %w", err)
+		}
+	}
 	if len(r.Jobs) == 0 {
 		return out, fmt.Errorf("fleet: jobs list is empty")
 	}
@@ -182,7 +192,7 @@ func (r FleetPlanRequest) Resolve() (fleet.Request, error) {
 	out = fleet.Request{
 		Cluster: fleet.Cluster{
 			Nodes: r.Cluster.Nodes, SpeedFactors: r.Cluster.SpeedFactors,
-			Device: dev, Network: net,
+			Device: dev, Network: net, Scheduler: r.Cluster.Scheduler,
 		},
 		Jobs: jobs, Policy: policy,
 	}
@@ -280,8 +290,12 @@ type FleetJobAllocationJSON struct {
 	NodesUsed int   `json:"nodes_used"`
 	NodeIDs   []int `json:"node_ids"`
 	// StragglerFactor is the slowest used node's speed factor; the plan's
-	// homogeneous throughput is divided by it.
+	// homogeneous throughput is divided by it (1 for list-scheduled plans,
+	// whose predictions already pay the stragglers positionally).
 	StragglerFactor float64 `json:"straggler_factor"`
+	// Scheduler is the placement policy behind the chosen plan (absent for
+	// the scheme's fixed placement).
+	Scheduler string `json:"scheduler,omitempty"`
 	// Plan is the §3.4 selection (absent when the share is infeasible).
 	Plan               *PredictionJSON `json:"plan,omitempty"`
 	Throughput         float64         `json:"throughput"`
@@ -313,6 +327,7 @@ func NewFleetPlanResponse(a *fleet.Allocation) FleetPlanResponse {
 			Job: j.Job, Priority: j.Priority,
 			Nodes: j.Nodes, NodesUsed: j.NodesUsed, NodeIDs: j.NodeIDs,
 			StragglerFactor:    j.StragglerFactor,
+			Scheduler:          j.Scheduler,
 			Throughput:         j.Throughput,
 			WeightedThroughput: j.Weighted,
 		}
@@ -320,6 +335,7 @@ func NewFleetPlanResponse(a *fleet.Allocation) FleetPlanResponse {
 			ja.Plan = &PredictionJSON{
 				W: j.Plan.W, D: j.Plan.D, B: j.Plan.B, N: j.Plan.N, Recompute: j.Plan.Recompute,
 				Cf: j.Plan.Cf, Cb: j.Plan.Cb, IterTime: j.Plan.IterTime, Throughput: j.Plan.Throughput,
+				Scheduler: j.Plan.Scheduler,
 			}
 		}
 		out.Jobs[i] = ja

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"chimera/internal/schedule"
+)
+
+// TestSchedulerFieldOnSimulate: a list-scheduled simulate succeeds, differs
+// from the fixed placement under a straggler, and is byte-identical to it
+// with uniform factors (the policy defers).
+func TestSchedulerFieldOnSimulate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := func(scheduler, factors string) string {
+		sched := ""
+		if scheduler != "" {
+			sched = `,"scheduler":"` + scheduler + `"`
+		}
+		sf := ""
+		if factors != "" {
+			sf = `,"speed_factors":[` + factors + `]`
+		}
+		return `{"model":{"preset":"bert48"},"schedule":{"scheme":"chimera","d":4,"n":8` + sched + `},
+			"micro_batch":4,"w":4,"auto_recompute":true` + sf + `,"platform":{"preset":"pizdaint"}}`
+	}
+	status, fixed := post(t, ts, "/v1/simulate", body("", "1,1,2,1"))
+	if status != http.StatusOK {
+		t.Fatalf("fixed: status %d: %s", status, fixed)
+	}
+	status, reshaped := post(t, ts, "/v1/simulate", body("heft", "1,1,2,1"))
+	if status != http.StatusOK {
+		t.Fatalf("heft: status %d: %s", status, reshaped)
+	}
+	var fr, rr SimulateResponse
+	if err := json.Unmarshal(fixed, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(reshaped, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.IterTime == rr.IterTime {
+		t.Fatal("heft under a straggler produced the fixed placement's iteration time; the schedule was not re-shaped")
+	}
+
+	// Uniform factors: the policy defers and the reply is byte-identical to
+	// the fixed request's (pre-PR-6 bodies stay byte-compatible).
+	status, a := post(t, ts, "/v1/simulate", body("", "1,1,1,1"))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, a)
+	}
+	status, b := post(t, ts, "/v1/simulate", body("heft", "1,1,1,1"))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, b)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("uniform-factor heft reply differs from fixed:\n%s\n%s", a, b)
+	}
+}
+
+// TestSchedulerFieldOnPlan: scheduler=auto returns list-policy rows on a
+// heterogeneous plan, and scheduler=fixed matches an omitted scheduler.
+func TestSchedulerFieldOnPlan(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	hetBody := func(scheduler string) string {
+		sched := ""
+		if scheduler != "" {
+			sched = `,"scheduler":"` + scheduler + `"`
+		}
+		return `{"model":{"preset":"gpt2-32"},"p":32,"mini_batch":512,"max_b":8,
+			"speed_factors":[1,1,1,1,2,1,1,1]` + sched + `,"platform":{"preset":"pizdaint"}}`
+	}
+	status, body := post(t, ts, "/v1/plan", hetBody("auto"))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range pr.Predictions {
+		seen[p.Scheduler] = true
+	}
+	for _, pol := range []string{"", "heft", "cpop", "lb"} {
+		if !seen[pol] {
+			t.Fatalf("no plan row for policy %q in %s", pol, body)
+		}
+	}
+
+	status, omitted := post(t, ts, "/v1/plan", hetBody(""))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, omitted)
+	}
+	status, explicit := post(t, ts, "/v1/plan", hetBody("fixed"))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, explicit)
+	}
+	if string(omitted) != string(explicit) {
+		t.Fatal("scheduler:\"fixed\" reply differs from an omitted scheduler")
+	}
+}
+
+// TestSchedulerRejection: unknown scheduler names are 400s on both
+// endpoints, with the vocabulary in the error.
+func TestSchedulerRejection(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	simBody := `{"model":{"preset":"bert48"},"schedule":{"scheme":"chimera","d":4,"n":4,"scheduler":"peft"},
+		"micro_batch":4,"w":4,"platform":{"preset":"pizdaint"}}`
+	status, body := post(t, ts, "/v1/simulate", simBody)
+	if status != http.StatusBadRequest {
+		t.Fatalf("simulate: status %d, want 400: %s", status, body)
+	}
+	if !strings.Contains(string(body), "unknown scheduler") || !strings.Contains(string(body), "heft") {
+		t.Fatalf("simulate error should name the scheduler vocabulary: %s", body)
+	}
+	planBad := `{"model":{"preset":"bert48"},"p":16,"mini_batch":128,"scheduler":"peft","platform":{"preset":"pizdaint"}}`
+	status, body = post(t, ts, "/v1/plan", planBad)
+	if status != http.StatusBadRequest {
+		t.Fatalf("plan: status %d, want 400: %s", status, body)
+	}
+	if !strings.Contains(string(body), "unknown scheduler") {
+		t.Fatalf("plan error should mention the unknown scheduler: %s", body)
+	}
+}
+
+// TestSchedulesListsSchedulers: /v1/schedules reports the policy axis.
+func TestSchedulesListsSchedulers(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := get(t, ts, "/v1/schedules")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var sr SchedulesResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sr.Schedulers, schedule.Schedulers()) {
+		t.Fatalf("schedulers = %v, want %v", sr.Schedulers, schedule.Schedulers())
+	}
+}

@@ -464,6 +464,7 @@ func (s *Server) handleSchedules(w http.ResponseWriter, r *http.Request) {
 	s.schedules.Add(1)
 	s.writeJSON(w, http.StatusOK, SchedulesResponse{
 		Schemes:     Schemes(),
+		Schedulers:  Schedulers(),
 		ConcatModes: ConcatModes(),
 		Models:      ModelPresets(),
 		Platforms:   PlatformPresets(),
