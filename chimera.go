@@ -26,6 +26,7 @@ import (
 	"chimera/internal/engine"
 	"chimera/internal/fleet"
 	"chimera/internal/model"
+	"chimera/internal/obs"
 	"chimera/internal/optim"
 	"chimera/internal/perfmodel"
 	"chimera/internal/pipeline"
@@ -195,6 +196,23 @@ type (
 // (*Server).ListenAndServe (graceful shutdown on context cancel) or embed
 // (*Server).Handler in an existing mux.
 func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// Observability (internal/obs): the zero-dependency metrics core behind
+// GET /metrics, /debug/requests and the engine/serve/fleet instrumentation.
+type (
+	// MetricsRegistry names, interns and renders metric series
+	// (Prometheus text via WritePrometheus, JSON via Snapshot).
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time JSON digest of a registry, as
+	// embedded in /v1/stats responses.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewMetricsRegistry builds an empty metrics registry. Attach it to a
+// private engine with engine.Observe, to a server via ServeConfig.Registry,
+// or to a fleet allocator with (*FleetAllocator).Observe; instrumentation
+// stays disabled — and free — on components without one.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Fleet planning (internal/fleet): multi-job cluster allocation on top of
 // the planner, plus a deterministic discrete-event fleet simulator.

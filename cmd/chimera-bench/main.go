@@ -82,6 +82,10 @@ func runSweepBench(out, fleetOut string, passes int) error {
 	if b.Schedulers != nil {
 		fmt.Println(b.Schedulers)
 	}
+	if b.Obs != nil {
+		fmt.Printf("obs benchmark: instrumented sweep %.2fx plain (%d series recorded), identical outcomes: %v\n",
+			b.Obs.Overhead, b.Obs.SeriesRecorded, b.Obs.IdenticalOutcomes)
+	}
 	fmt.Printf("wrote %s\n", out)
 	if b.Fleet != nil && fleetOut != "" {
 		if err := writeJSON(fleetOut, b.Fleet); err != nil {

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"chimera"
+	"chimera/internal/obs"
 	"chimera/internal/serve"
 )
 
@@ -61,6 +62,28 @@ type BenchServe struct {
 	// response cache is reported separately (both from /v1/stats).
 	CacheHitRate     float64 `json:"cache_hit_rate"`
 	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+	// Server is the server-side latency view scraped from GET /metrics at
+	// the end of the run (nil when -scrape=false). Server-side quantiles
+	// exclude client and transport time, so they bound how much of the
+	// client-observed latency the service itself spent.
+	Server *ServerMetrics `json:"server,omitempty"`
+}
+
+// ServerMetrics folds the scraped /v1/plan endpoint histograms into the
+// report: the hit/miss split plus the merged endpoint totals.
+type ServerMetrics struct {
+	// PlanRequests counts plan requests the scraped histograms saw
+	// (hits + misses), across every phase of this run.
+	PlanRequests uint64 `json:"plan_requests"`
+	// PlanP50Ms/PlanP99Ms are quantiles of the merged hit+miss series.
+	PlanP50Ms float64 `json:"plan_p50_ms"`
+	PlanP99Ms float64 `json:"plan_p99_ms"`
+	// The per-disposition splits: hits are cache lookups, misses full
+	// planning runs.
+	PlanHits      uint64  `json:"plan_hits"`
+	PlanHitP50Ms  float64 `json:"plan_hit_p50_ms"`
+	PlanMisses    uint64  `json:"plan_misses"`
+	PlanMissP50Ms float64 `json:"plan_miss_p50_ms"`
 }
 
 // LatencySide summarizes one latency measurement pass.
@@ -103,9 +126,10 @@ func main() {
 	minWarmSpeedup := flag.Float64("min-warm-speedup", 2.0, "gate: warm p50 must beat cold p50 by this factor (0 disables)")
 	expectShed := flag.Bool("expect-shed", true, "gate: the overload burst must shed at least one request")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for /healthz at startup")
+	scrape := flag.Bool("scrape", true, "scrape GET /metrics at end of run and fold server-side plan latency into the report")
 	flag.Parse()
 
-	b, failures := run(*addr, *passes, *clients, *requests, *burst, *minWarmSpeedup, *expectShed, *wait)
+	b, failures := run(*addr, *passes, *clients, *requests, *burst, *minWarmSpeedup, *expectShed, *scrape, *wait)
 
 	raw, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
@@ -121,6 +145,11 @@ func main() {
 		fmt.Printf("serve benchmark: %d req/s (p50 %.1f ms, p99 %.1f ms), warm plan p50 %.1fx faster than cold, cache hit rate %.0f%%, shed %d/%d under overload, plan identical: %v\n",
 			int(b.Throughput.RPS), b.Throughput.P50Ms, b.Throughput.P99Ms,
 			b.WarmSpeedupP50, 100*b.CacheHitRate, b.Overload.Shed429, b.Overload.Offered, b.PlanIdentical)
+		if b.Server != nil {
+			fmt.Printf("server-side (scraped): %d plan requests, p50 %.2f ms, p99 %.1f ms (hit p50 %.2f ms over %d, miss p50 %.1f ms over %d)\n",
+				b.Server.PlanRequests, b.Server.PlanP50Ms, b.Server.PlanP99Ms,
+				b.Server.PlanHitP50Ms, b.Server.PlanHits, b.Server.PlanMissP50Ms, b.Server.PlanMisses)
+		}
 		fmt.Printf("wrote %s\n", *out)
 	}
 	if len(failures) > 0 {
@@ -131,7 +160,7 @@ func main() {
 	}
 }
 
-func run(addr string, passes, clients, requests, burst int, minWarmSpeedup float64, expectShed bool, wait time.Duration) (*BenchServe, []string) {
+func run(addr string, passes, clients, requests, burst int, minWarmSpeedup float64, expectShed, scrape bool, wait time.Duration) (*BenchServe, []string) {
 	var failures []string
 	fail := func(format string, args ...any) { failures = append(failures, fmt.Sprintf(format, args...)) }
 
@@ -211,7 +240,52 @@ func run(addr string, passes, clients, requests, burst int, minWarmSpeedup float
 	if total := stats.PlanCache.Hits + stats.PlanCache.Misses; total > 0 {
 		b.PlanCacheHitRate = float64(stats.PlanCache.Hits) / float64(total)
 	}
+
+	// Fold the server's own latency histograms into the report: what the
+	// service measured about itself, free of client and transport time.
+	if scrape {
+		sm, err := scrapeServer(addr)
+		if err != nil {
+			fail("scrape /metrics: %v", err)
+		} else {
+			b.Server = sm
+			if sm.PlanRequests == 0 {
+				fail("scrape /metrics: no plan requests in serve_request_duration_seconds")
+			}
+		}
+	}
 	return b, failures
+}
+
+// scrapeServer pulls GET /metrics and digests the /v1/plan endpoint's
+// latency histograms (hit, miss, and their merge).
+func scrapeServer(addr string) (*ServerMetrics, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	parsed := obs.HistogramQuantiles(string(body), "serve_request_duration_seconds")
+	hit := parsed[`{cache="hit",endpoint="plan"}`]
+	miss := parsed[`{cache="miss",endpoint="plan"}`]
+	merged := obs.MergeHistograms(hit, miss)
+	toMS := func(seconds float64) float64 { return seconds * 1e3 }
+	return &ServerMetrics{
+		PlanRequests:  merged.Count,
+		PlanP50Ms:     toMS(merged.Quantile(0.50)),
+		PlanP99Ms:     toMS(merged.Quantile(0.99)),
+		PlanHits:      hit.Count,
+		PlanHitP50Ms:  toMS(hit.Quantile(0.50)),
+		PlanMisses:    miss.Count,
+		PlanMissP50Ms: toMS(miss.Quantile(0.50)),
+	}, nil
 }
 
 // latencySet is the cold/warm measurement workload: distinct paper-scale

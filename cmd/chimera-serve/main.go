@@ -9,6 +9,14 @@
 // control: beyond -max-inflight concurrent requests the server sheds with
 // 429 instead of queueing. SIGINT/SIGTERM drain in-flight work before exit.
 //
+// Observability: GET /metrics serves Prometheus text-format counters,
+// gauges and latency histograms for the serving, engine and fleet layers;
+// GET /debug/requests dumps the flight recorder's last -flight-recorder
+// request spans with per-phase timings; -pprof mounts /debug/pprof/.
+// Every response carries an X-Request-Id header (honored if the client
+// sent one), and -log-format selects the per-request access-log encoding
+// on stderr ("json", "text", or "none").
+//
 // Example:
 //
 //	chimera-serve -addr 127.0.0.1:8642 -cache-capacity 4096 &
@@ -38,14 +46,29 @@ func main() {
 	capacity := flag.Int("cache-capacity", 4096, "per-table engine cache bound with LRU eviction (0 = unbounded)")
 	maxInflight := flag.Int("max-inflight", 0, "admission limit on concurrent heavy requests (0 = 4×GOMAXPROCS)")
 	drain := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown wait for in-flight requests")
+	logFormat := flag.String("log-format", "none", `access-log encoding on stderr: "json", "text", or "none"`)
+	flightRecorder := flag.Int("flight-recorder", 256, "recent request spans retained for GET /debug/requests (negative disables)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	s := serve.New(serve.Config{
-		Workers:       *workers,
-		CacheCapacity: *capacity,
-		MaxInflight:   *maxInflight,
-		DrainTimeout:  *drain,
-	})
+	cfg := serve.Config{
+		Workers:        *workers,
+		CacheCapacity:  *capacity,
+		MaxInflight:    *maxInflight,
+		DrainTimeout:   *drain,
+		FlightRecorder: *flightRecorder,
+		EnablePprof:    *enablePprof,
+	}
+	switch *logFormat {
+	case "json", "text":
+		cfg.AccessLog = os.Stderr
+		cfg.LogFormat = *logFormat
+	case "none", "":
+	default:
+		fmt.Fprintf(os.Stderr, "chimera-serve: unknown -log-format %q (have json, text, none)\n", *logFormat)
+		os.Exit(2)
+	}
+	s := serve.New(cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -18,8 +18,10 @@ package engine
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"chimera/internal/model"
+	"chimera/internal/obs"
 	"chimera/internal/schedule"
 	"chimera/internal/sim"
 )
@@ -207,6 +209,10 @@ type Engine struct {
 	schedules *Memo[ScheduleKey, schedOutcome]
 	criticals *Memo[ScheduleKey, critOutcome]
 	outcomes  *Memo[Spec, Outcome]
+	// obsReg is the registry attached by Observe (nil = uninstrumented);
+	// met holds the handles initObserve resolves from it.
+	obsReg *obs.Registry
+	met    *engMetrics
 }
 
 type schedOutcome struct {
@@ -270,6 +276,7 @@ func New(opts ...Option) *Engine {
 		e.outcomes = NewMemoCap[Spec, Outcome](e.capacity)
 	}
 	e.sem = make(chan struct{}, e.workers)
+	e.initObserve()
 	return e
 }
 
@@ -298,8 +305,16 @@ func (e *Engine) WorkerCount() int { return e.workers }
 // use. The returned schedule is shared: callers must not mutate it.
 func (e *Engine) Schedule(key ScheduleKey) (*schedule.Schedule, error) {
 	key = key.canonical()
+	m := e.met
 	out := e.schedules.Do(key, func() schedOutcome {
+		var start time.Time
+		if m != nil {
+			start = time.Now()
+		}
 		s, err := buildSchedule(key)
+		if m != nil {
+			m.schedule.Since(start)
+		}
 		return schedOutcome{s, err}
 	})
 	return out.s, out.err
@@ -341,21 +356,47 @@ func (e *Engine) Graph(key ScheduleKey) (*schedule.Graph, error) {
 // schedule identified by key (§3.4's Eq. 1 inputs).
 func (e *Engine) CriticalPath(key ScheduleKey) (cf, cb int, err error) {
 	key = key.canonical()
+	m := e.met
 	out := e.criticals.Do(key, func() critOutcome {
+		var start time.Time
+		if m != nil {
+			start = time.Now()
+		}
 		s, err := e.Schedule(key)
 		if err != nil {
 			return critOutcome{err: err}
 		}
 		cf, cb, err := schedule.CriticalPath(s)
+		if m != nil {
+			m.critical.Since(start)
+		}
 		return critOutcome{cf, cb, err}
 	})
 	return out.cf, out.cb, out.err
 }
 
-// Evaluate runs (or recalls) one simulator evaluation.
+// Evaluate runs (or recalls) one simulator evaluation. With observability
+// attached, a memo miss records its compute time in engine_evaluate_seconds
+// and a hit records the time spent recalling (including any wait on another
+// goroutine's in-flight computation) in engine_memo_wait_seconds.
 func (e *Engine) Evaluate(spec Spec) Outcome {
 	spec.Sched = spec.Sched.canonical()
-	return e.outcomes.Do(spec, func() Outcome { return e.evaluate(spec) })
+	m := e.met
+	if m == nil {
+		return e.outcomes.Do(spec, func() Outcome { return e.evaluate(spec) })
+	}
+	start := time.Now()
+	computed := false
+	out := e.outcomes.Do(spec, func() Outcome {
+		computed = true
+		return e.evaluate(spec)
+	})
+	if computed {
+		m.evaluate.Since(start)
+	} else {
+		m.wait.Since(start)
+	}
+	return out
 }
 
 func (e *Engine) evaluate(spec Spec) Outcome {
@@ -379,8 +420,16 @@ func (e *Engine) evaluate(spec Spec) Outcome {
 // input order. Outcome i corresponds to specs[i] regardless of which worker
 // computed it or when.
 func (e *Engine) Sweep(specs []Spec) []Outcome {
+	m := e.met
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	out := make([]Outcome, len(specs))
 	e.ForEach(len(specs), func(i int) { out[i] = e.Evaluate(specs[i]) })
+	if m != nil {
+		m.sweep.Since(start)
+	}
 	return out
 }
 

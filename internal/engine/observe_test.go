@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"chimera/internal/model"
+	"chimera/internal/obs"
+	"chimera/internal/schedule"
+	"chimera/internal/sim"
+)
+
+func testSpec(d, n int) Spec {
+	return Spec{
+		Sched:         ChimeraKey(d, n, 1, schedule.Direct),
+		Model:         model.BERT48(),
+		MicroBatch:    1,
+		W:             1,
+		AutoRecompute: true,
+		Device:        sim.PizDaintNode(),
+		Network:       sim.AriesNetwork(),
+	}
+}
+
+// TestObserveRecordsEngineSeries: an instrumented engine populates the
+// engine_ series — evaluate on miss, wait on hit, sweep and worker
+// counters from ForEach, cache counters read through to the memo tables.
+func TestObserveRecordsEngineSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Workers(2), Observe(reg))
+	spec := testSpec(4, 8)
+
+	if out := e.Evaluate(spec); out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	e.Evaluate(spec) // hit
+	e.Sweep([]Spec{testSpec(4, 12), testSpec(4, 16)})
+
+	snap := reg.Snapshot()
+	if got := snap.Histograms["engine_evaluate_seconds"].Count; got != 3 {
+		t.Fatalf("evaluate count = %d, want 3 (one per distinct spec)", got)
+	}
+	if got := snap.Histograms["engine_memo_wait_seconds"].Count; got != 1 {
+		t.Fatalf("wait count = %d, want 1 (the repeated spec)", got)
+	}
+	if got := snap.Histograms["engine_sweep_seconds"].Count; got != 1 {
+		t.Fatalf("sweep count = %d, want 1", got)
+	}
+	if got := snap.Counters[`engine_cache_hits_total{table="outcomes"}`]; got != 1 {
+		t.Fatalf("outcome cache hits = %d, want 1", got)
+	}
+	if got := snap.Counters[`engine_cache_misses_total{table="outcomes"}`]; got != 3 {
+		t.Fatalf("outcome cache misses = %d, want 3", got)
+	}
+	var busy uint64
+	for k, v := range snap.Counters {
+		if len(k) > len("engine_worker_busy") && k[:len("engine_worker_busy")] == "engine_worker_busy" {
+			busy += v
+		}
+	}
+	if busy == 0 {
+		t.Fatal("no worker busy time recorded after a sweep")
+	}
+	if snap.Gauges[`engine_cache_entries{table="outcomes"}`] != 3 {
+		t.Fatalf("outcome entries gauge = %g, want 3", snap.Gauges[`engine_cache_entries{table="outcomes"}`])
+	}
+	if r := snap.Gauges["engine_cache_hit_ratio"]; r <= 0 || r >= 1 {
+		t.Fatalf("hit ratio = %g, want in (0, 1)", r)
+	}
+}
+
+// TestObserveOutputsIdentical: instrumentation must not perturb results —
+// the same sweep on an instrumented and a plain engine returns deeply equal
+// outcomes. This is the unit-level half of the CI byte-identical gate.
+func TestObserveOutputsIdentical(t *testing.T) {
+	specs := []Spec{testSpec(2, 4), testSpec(4, 8), testSpec(4, 4)}
+	plain := New(Workers(1)).Sweep(specs)
+	instr := New(Workers(1), Observe(obs.NewRegistry())).Sweep(specs)
+	for i := range specs {
+		if plain[i].Err != nil || instr[i].Err != nil {
+			t.Fatalf("spec %d errored: %v / %v", i, plain[i].Err, instr[i].Err)
+		}
+		if !reflect.DeepEqual(plain[i].Result, instr[i].Result) {
+			t.Fatalf("spec %d: instrumented result differs from plain", i)
+		}
+	}
+}
+
+// TestObserveNilRegistry: Observe(nil) leaves the engine uninstrumented and
+// fully functional.
+func TestObserveNilRegistry(t *testing.T) {
+	e := New(Observe(nil))
+	if e.met != nil {
+		t.Fatal("nil registry produced metric handles")
+	}
+	if out := e.Evaluate(testSpec(2, 4)); out.Err != nil {
+		t.Fatal(out.Err)
+	}
+}
+
+// TestObserveNoCache: an instrumented cacheless engine still works (the
+// CounterFuncs read nil memos as zero).
+func TestObserveNoCache(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(NoCache(), Observe(reg))
+	e.Evaluate(testSpec(2, 4))
+	e.Evaluate(testSpec(2, 4))
+	snap := reg.Snapshot()
+	if got := snap.Histograms["engine_evaluate_seconds"].Count; got != 2 {
+		t.Fatalf("cacheless evaluate count = %d, want 2 (every call computes)", got)
+	}
+	if got := snap.Counters[`engine_cache_hits_total{table="outcomes"}`]; got != 0 {
+		t.Fatalf("nil memo reported %d hits", got)
+	}
+}

@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // ForEach runs fn(i) for every i in [0, n) on the engine's worker pool and
 // returns when all calls have completed. Indices are fed to a fixed set of
@@ -18,9 +21,18 @@ import "sync"
 // fn must write results into per-index slots (not append to shared state)
 // so that the output is deterministic regardless of execution order.
 func (e *Engine) ForEach(n int, fn func(i int)) {
-	run := func(i int) {
+	m := e.met
+	// run executes one body on worker slot w; with observability attached
+	// the slot's busy time accumulates into its per-worker counter.
+	run := func(w, i int) {
 		e.sem <- struct{}{}
 		defer func() { <-e.sem }()
+		if m != nil && w < len(m.workerBusy) {
+			start := time.Now()
+			fn(i)
+			m.workerBusy[w].Add(uint64(time.Since(start)))
+			return
+		}
 		fn(i)
 	}
 	workers := e.workers
@@ -29,7 +41,7 @@ func (e *Engine) ForEach(n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			run(i)
+			run(0, i)
 		}
 		return
 	}
@@ -37,12 +49,12 @@ func (e *Engine) ForEach(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
-				run(i)
+				run(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		jobs <- i

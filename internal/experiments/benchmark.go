@@ -56,6 +56,11 @@ type SweepBenchmark struct {
 	// placement must strictly beat the best fixed scheme on the severe
 	// straggler case.
 	Schedulers *SchedulerBenchmark `json:"schedulers"`
+
+	// Obs benchmarks instrumentation overhead; CI gates Obs.Overhead ≤ 1.05
+	// and Obs.IdenticalOutcomes — metrics must be effectively free and must
+	// not perturb results.
+	Obs *ObsBenchmark `json:"obs"`
 }
 
 // SweepBenchSide is one side (serial reference or engine) of the benchmark.
@@ -165,6 +170,8 @@ func BenchmarkSweep(passes int) (*SweepBenchmark, error) {
 		return nil, err
 	}
 	b.Schedulers = schedBench
+
+	b.Obs = BenchmarkObs(0)
 
 	b.IdenticalRanking = true
 	sr, pr := rankOutcomes(serialOuts), rankOutcomes(parallelOuts)

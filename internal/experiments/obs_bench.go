@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"chimera/internal/engine"
+	"chimera/internal/obs"
+)
+
+// ObsBenchmark quantifies instrumentation overhead: the same uncached,
+// single-worker sweep on a plain engine and on an engine with a live metric
+// registry attached. The sides alternate round by round and each reports
+// its best (minimum) wall-clock, so transient scheduler noise cannot be
+// misread as overhead. CI gates Overhead ≤ 1.05 — observability must be
+// effectively free — and IdenticalOutcomes, the proof that attaching a
+// registry perturbs no result.
+type ObsBenchmark struct {
+	Configs int `json:"configs"`
+	Rounds  int `json:"rounds"`
+	// PlainSeconds and ObservedSeconds are each side's best round.
+	PlainSeconds    float64 `json:"plain_seconds"`
+	ObservedSeconds float64 `json:"observed_seconds"`
+	// Overhead is ObservedSeconds / PlainSeconds (1.0 = free).
+	Overhead float64 `json:"overhead"`
+	// IdenticalOutcomes reports that the instrumented sweep's outcomes
+	// match the plain sweep's bit for bit (ranking and throughputs).
+	IdenticalOutcomes bool `json:"identical_outcomes"`
+	// SeriesRecorded counts metric series carrying data after the
+	// instrumented sweeps — proof the instrumented side actually measured.
+	SeriesRecorded int `json:"series_recorded"`
+}
+
+// BenchmarkObs runs the instrumentation-overhead benchmark. rounds <= 0
+// selects the default of 3. Both sides run uncached on one worker so the
+// comparison isolates the record-path cost (clock reads plus atomic adds)
+// from cache and pool effects.
+func BenchmarkObs(rounds int) *ObsBenchmark {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	grid := benchGrid()
+	specs := make([]engine.Spec, len(grid))
+	for i, g := range grid {
+		specs[i] = g.spec
+	}
+
+	b := &ObsBenchmark{Configs: len(specs), Rounds: rounds}
+	var plainOuts, obsOuts []engine.Outcome
+	reg := obs.NewRegistry()
+	for r := 0; r < rounds; r++ {
+		outs, sec := runSide(engine.New(engine.Workers(1), engine.NoCache()), specs, 1)
+		if b.PlainSeconds == 0 || sec < b.PlainSeconds {
+			b.PlainSeconds = sec
+		}
+		plainOuts = outs
+
+		outs, sec = runSide(engine.New(engine.Workers(1), engine.NoCache(), engine.Observe(reg)), specs, 1)
+		if b.ObservedSeconds == 0 || sec < b.ObservedSeconds {
+			b.ObservedSeconds = sec
+		}
+		obsOuts = outs
+	}
+	if b.PlainSeconds > 0 {
+		b.Overhead = b.ObservedSeconds / b.PlainSeconds
+	}
+
+	b.IdenticalOutcomes = true
+	pr, or := rankOutcomes(plainOuts), rankOutcomes(obsOuts)
+	for i := range pr {
+		if pr[i] != or[i] {
+			b.IdenticalOutcomes = false
+			break
+		}
+		po, oo := plainOuts[pr[i]], obsOuts[or[i]]
+		pOK := po.Err == nil && po.Result != nil
+		oOK := oo.Err == nil && oo.Result != nil
+		if pOK != oOK || (pOK && po.Result.Throughput != oo.Result.Throughput) {
+			b.IdenticalOutcomes = false
+			break
+		}
+	}
+
+	snap := reg.Snapshot()
+	for _, h := range snap.Histograms {
+		if h.Count > 0 {
+			b.SeriesRecorded++
+		}
+	}
+	for _, v := range snap.Counters {
+		if v > 0 {
+			b.SeriesRecorded++
+		}
+	}
+	return b
+}

@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+// TestBenchmarkObs: the machine-independent properties of the overhead
+// benchmark — bookkeeping, the instrumented side actually recording, and
+// outcome identity. (The ≤1.05 overhead bound is timing-dependent and
+// asserted in CI against BENCH_sweep.json.)
+func TestBenchmarkObs(t *testing.T) {
+	b := BenchmarkObs(1)
+	if b.Rounds != 1 || b.Configs < 64 {
+		t.Fatalf("bookkeeping drifted: %+v", b)
+	}
+	if b.PlainSeconds <= 0 || b.ObservedSeconds <= 0 || b.Overhead <= 0 {
+		t.Fatalf("degenerate timings: %+v", b)
+	}
+	if !b.IdenticalOutcomes {
+		t.Fatal("instrumented sweep outcomes diverged from plain")
+	}
+	if b.SeriesRecorded == 0 {
+		t.Fatal("instrumented side recorded nothing — registry not attached?")
+	}
+}

@@ -72,6 +72,9 @@ type Allocator struct {
 	// uses. The engine underneath additionally shares schedule and
 	// critical-path memos with every other engine user.
 	plans *engine.Memo[perfmodel.PlanRequest, planResult]
+	// met holds the instrument handles attached by Observe (nil =
+	// uninstrumented).
+	met *fleetMetrics
 }
 
 type planResult struct {
@@ -122,6 +125,7 @@ func (a *Allocator) Allocate(req Request) (*Allocation, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	defer a.observeAllocate()()
 	pool := sortedPool(req.Cluster)
 	var shares [][]node
 	var err error

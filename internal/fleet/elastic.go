@@ -700,6 +700,7 @@ func (a *Allocator) replanElastic(sc ElasticScenario, res *ElasticResult, runs m
 	if len(active) == 0 {
 		return nil
 	}
+	defer a.observeReplan(res, res.JobsEvaluated)()
 	res.Reallocations++
 
 	// Snapshot the pre-replan execution state for restart detection.

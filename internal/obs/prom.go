@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4). Output is deterministic: families
+// sort by name, series by label signature, histogram buckets ascending.
+// Histograms render in seconds with cumulative buckets; empty buckets are
+// elided (the cumulative counts stay correct) except the mandatory +Inf.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := &errWriter{w: w}
+	var lastFamily string
+	for _, s := range r.snapshotSeries() {
+		if s.name != lastFamily {
+			if s.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", s.name, s.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.name, promType(s.kind))
+			lastFamily = s.name
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s%s %d\n", s.name, s.sig, s.counter.Value())
+		case kindCounterFunc:
+			fmt.Fprintf(bw, "%s%s %d\n", s.name, s.sig, s.counterF())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s%s %d\n", s.name, s.sig, s.gauge.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(bw, "%s%s %s\n", s.name, s.sig, formatFloat(s.gaugeF()))
+		case kindHistogram:
+			writePromHistogram(bw, s)
+		}
+	}
+	return bw.err
+}
+
+func promType(k metricKind) string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// writePromHistogram renders one histogram series: cumulative _bucket
+// lines for every non-empty bucket plus +Inf, then _sum and _count.
+func writePromHistogram(w io.Writer, s *series) {
+	snap := s.hist.Snapshot()
+	var cum uint64
+	for i, c := range snap.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, withLE(s, bucketUpperNS(i)/1e9), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, withLE(s, math.Inf(1)), snap.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", s.name, s.sig, formatFloat(float64(snap.SumNS)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", s.name, s.sig, snap.Count)
+}
+
+// withLE appends the le label to a series' label signature.
+func withLE(s *series, upperSeconds float64) string {
+	le := "+Inf"
+	if !math.IsInf(upperSeconds, 1) {
+		le = formatFloat(upperSeconds)
+	}
+	if s.sig == "" {
+		return `{le="` + le + `"}`
+	}
+	return s.sig[:len(s.sig)-1] + `,le="` + le + `"}`
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// errWriter latches the first write error so render loops stay linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, nil
+}
+
+// Snapshot is a point-in-time view of a registry for embedding in JSON
+// responses (/v1/stats): counters and gauges as flat series-name → value
+// maps, histograms as per-series quantile summaries. Durations report in
+// seconds to match the Prometheus endpoint.
+type Snapshot struct {
+	Counters   map[string]uint64           `json:"counters,omitempty"`
+	Gauges     map[string]float64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+}
+
+// HistogramSummary is one histogram's quantile digest.
+type HistogramSummary struct {
+	Count       uint64  `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P95Seconds  float64 `json:"p95_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+}
+
+// Snapshot digests the registry. Keys are the full series name including
+// the label signature (e.g. `serve_request_duration_seconds{endpoint="plan"}`).
+func (r *Registry) Snapshot() Snapshot {
+	var out Snapshot
+	if r == nil {
+		return out
+	}
+	out.Counters = make(map[string]uint64)
+	out.Gauges = make(map[string]float64)
+	out.Histograms = make(map[string]HistogramSummary)
+	for _, s := range r.snapshotSeries() {
+		key := s.name + s.sig
+		switch s.kind {
+		case kindCounter:
+			out.Counters[key] = s.counter.Value()
+		case kindCounterFunc:
+			out.Counters[key] = s.counterF()
+		case kindGauge:
+			out.Gauges[key] = float64(s.gauge.Value())
+		case kindGaugeFunc:
+			out.Gauges[key] = s.gaugeF()
+		case kindHistogram:
+			snap := s.hist.Snapshot()
+			out.Histograms[key] = HistogramSummary{
+				Count:       snap.Count,
+				MeanSeconds: float64(snap.Mean()) / 1e9,
+				P50Seconds:  float64(snap.Quantile(0.50)) / 1e9,
+				P95Seconds:  float64(snap.Quantile(0.95)) / 1e9,
+				P99Seconds:  float64(snap.Quantile(0.99)) / 1e9,
+			}
+		}
+	}
+	return out
+}
+
+// HistogramQuantiles parses Prometheus text-format histogram buckets for
+// one metric family back into per-label-signature quantile estimates — the
+// inverse the load generator uses to fold server-side latency into its
+// report. Series are grouped by their label signature minus the le label;
+// the returned map keys are those signatures (e.g. `{endpoint="plan"}`).
+func HistogramQuantiles(text, family string) map[string]ParsedHistogram {
+	out := make(map[string]ParsedHistogram)
+	prefix := family + "_bucket"
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		if len(rest) == 0 || rest[0] != '{' {
+			continue
+		}
+		close := strings.IndexByte(rest, '}')
+		if close < 0 {
+			continue
+		}
+		labels, valStr := rest[1:close], strings.TrimSpace(rest[close+1:])
+		count, err := strconv.ParseUint(valStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		var le string
+		var kept []string
+		for _, part := range strings.Split(labels, ",") {
+			if v, ok := strings.CutPrefix(part, `le="`); ok {
+				le = strings.TrimSuffix(v, `"`)
+				continue
+			}
+			kept = append(kept, part)
+		}
+		if le == "" {
+			continue
+		}
+		ub := math.Inf(1)
+		if le != "+Inf" {
+			if v, err := strconv.ParseFloat(le, 64); err == nil {
+				ub = v
+			} else {
+				continue
+			}
+		}
+		sig := "{" + strings.Join(kept, ",") + "}"
+		h := out[sig]
+		h.buckets = append(h.buckets, parsedBucket{ub: ub, cum: count})
+		out[sig] = h
+	}
+	for sig, h := range out {
+		sort.Slice(h.buckets, func(i, j int) bool { return h.buckets[i].ub < h.buckets[j].ub })
+		if n := len(h.buckets); n > 0 {
+			h.Count = h.buckets[n-1].cum
+		}
+		out[sig] = h
+	}
+	return out
+}
+
+// MergeHistograms folds several scraped histogram series into one (e.g. an
+// endpoint's cache="hit" and cache="miss" series into the endpoint total).
+// Cumulative counts at each upper bound add across series; a series'
+// cumulative count at a bound it does not list is its count at the largest
+// bound it does list below it (the cumulative step function), so series
+// with different elided-bucket sets merge correctly.
+func MergeHistograms(hs ...ParsedHistogram) ParsedHistogram {
+	var out ParsedHistogram
+	bounds := make(map[float64]struct{})
+	for _, h := range hs {
+		out.Count += h.Count
+		for _, b := range h.buckets {
+			bounds[b.ub] = struct{}{}
+		}
+	}
+	if len(bounds) == 0 {
+		return out
+	}
+	ubs := make([]float64, 0, len(bounds))
+	for ub := range bounds {
+		ubs = append(ubs, ub)
+	}
+	sort.Float64s(ubs)
+	for _, ub := range ubs {
+		var cum uint64
+		for _, h := range hs {
+			cum += h.cumAt(ub)
+		}
+		out.buckets = append(out.buckets, parsedBucket{ub: ub, cum: cum})
+	}
+	return out
+}
+
+// cumAt is the series' cumulative count at an arbitrary bound: the count of
+// the largest listed bucket with ub <= bound.
+func (h ParsedHistogram) cumAt(bound float64) uint64 {
+	var cum uint64
+	for _, b := range h.buckets {
+		if b.ub > bound {
+			break
+		}
+		cum = b.cum
+	}
+	return cum
+}
+
+type parsedBucket struct {
+	ub  float64 // upper bound, seconds
+	cum uint64  // cumulative count
+}
+
+// ParsedHistogram is one scraped histogram series.
+type ParsedHistogram struct {
+	Count   uint64
+	buckets []parsedBucket
+}
+
+// Quantile estimates the q-quantile in seconds from the scraped cumulative
+// buckets (linear interpolation within the target bucket; the last finite
+// bucket's bound for the overflow bucket). Zero when empty.
+func (h ParsedHistogram) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	if target < 1 {
+		target = 1
+	}
+	prevUB, prevCum := 0.0, uint64(0)
+	for _, b := range h.buckets {
+		if float64(b.cum) >= target {
+			if math.IsInf(b.ub, 1) {
+				return prevUB
+			}
+			width := float64(b.cum - prevCum)
+			if width == 0 {
+				return b.ub
+			}
+			frac := (target - float64(prevCum)) / width
+			return prevUB + (b.ub-prevUB)*frac
+		}
+		if !math.IsInf(b.ub, 1) {
+			prevUB = b.ub
+		}
+		prevCum = b.cum
+	}
+	return prevUB
+}

@@ -22,6 +22,7 @@ import (
 
 	"chimera/internal/engine"
 	"chimera/internal/model"
+	"chimera/internal/obs"
 	"chimera/internal/perfmodel"
 	"chimera/internal/schedule"
 	"chimera/internal/sim"
@@ -679,6 +680,10 @@ type StatsResponse struct {
 	FleetCache    CacheTableJSON  `json:"fleet_cache"`
 	FleetSimCache CacheTableJSON  `json:"fleet_sim_cache"`
 	Engine        EngineStatsJSON `json:"engine"`
+	// Metrics embeds the observability registry's snapshot — every
+	// counter and gauge by full series name, histograms as quantile
+	// digests. Appended after the legacy fields, which are unchanged.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 
 	"chimera/internal/engine"
 	"chimera/internal/fleet"
+	"chimera/internal/obs"
 	"chimera/internal/perfmodel"
 	"chimera/internal/schedule"
 	"chimera/internal/trace"
@@ -35,8 +37,25 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Engine, when non-nil, supplies a caller-owned engine and overrides
 	// Workers/CacheCapacity (used by tests and embedders that want to
-	// share the process-wide Default engine).
+	// share the process-wide Default engine). A caller-owned engine keeps
+	// whatever instrumentation it was built with; only server-constructed
+	// engines register their engine_ series on the server's registry.
 	Engine *engine.Engine
+	// Registry, when non-nil, supplies a caller-owned metric registry; the
+	// server otherwise creates its own. All serve_/engine_/fleet_ series
+	// register here and GET /metrics serves it in Prometheus text format.
+	Registry *obs.Registry
+	// FlightRecorder sizes the ring of recent request spans behind
+	// GET /debug/requests (0 = 256 spans; negative disables recording).
+	FlightRecorder int
+	// EnablePprof mounts the standard runtime profiles under /debug/pprof/.
+	// Off by default: profiles reveal operational detail and cost CPU.
+	EnablePprof bool
+	// AccessLog, when non-nil, receives one log line per request.
+	AccessLog io.Writer
+	// LogFormat selects the access-log encoding: "text" (default) or
+	// "json" (one JSON object per line, stable field order).
+	LogFormat string
 }
 
 // Server routes the HTTP/JSON API onto a shared evaluation engine. Build
@@ -74,6 +93,11 @@ type Server struct {
 	// started anchors /healthz's uptime report.
 	started time.Time
 
+	// obs is the serving tier's observability state: registry, span flight
+	// recorder, per-endpoint instrument handles, access log. Always set by
+	// New.
+	obs *serveObs
+
 	plan, fleetPlan, fleetSim, simulate, analyze, schedules, render, health, stats atomic.Uint64
 	shed, clientErrors, serverErrors                                               atomic.Uint64
 }
@@ -86,9 +110,12 @@ type planOutcome struct {
 
 // New builds a Server and its engine.
 func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
 	eng := cfg.Engine
 	if eng == nil {
-		var opts []engine.Option
+		opts := []engine.Option{engine.Observe(cfg.Registry)}
 		if cfg.Workers > 0 {
 			opts = append(opts, engine.Workers(cfg.Workers))
 		}
@@ -116,16 +143,23 @@ func New(cfg Config) *Server {
 		allocator:     fleet.NewAllocatorCap(eng, cfg.CacheCapacity),
 		started:       time.Now(),
 	}
+	s.initObserve(cfg)
+	s.allocator.Observe(cfg.Registry)
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/plan", s.admitted(s.handlePlan))
-	mux.HandleFunc("POST /v1/fleet/plan", s.admitted(s.handleFleetPlan))
-	mux.HandleFunc("POST /v1/fleet/simulate", s.admitted(s.handleFleetSimulate))
-	mux.HandleFunc("POST /v1/simulate", s.admitted(s.handleSimulate))
-	mux.HandleFunc("POST /v1/analyze", s.admitted(s.handleAnalyze))
-	mux.HandleFunc("POST /v1/render", s.admitted(s.handleRender))
-	mux.HandleFunc("GET /v1/schedules", s.handleSchedules)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/plan", s.instrument("plan", s.admitted(s.handlePlan)))
+	mux.HandleFunc("POST /v1/fleet/plan", s.instrument("fleet_plan", s.admitted(s.handleFleetPlan)))
+	mux.HandleFunc("POST /v1/fleet/simulate", s.instrument("fleet_simulate", s.admitted(s.handleFleetSimulate)))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.admitted(s.handleSimulate)))
+	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.admitted(s.handleAnalyze)))
+	mux.HandleFunc("POST /v1/render", s.instrument("render", s.admitted(s.handleRender)))
+	mux.HandleFunc("GET /v1/schedules", s.instrument("schedules", s.handleSchedules))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.instrument("health", s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/requests", s.instrument("debug_requests", s.handleDebugRequests))
+	if cfg.EnablePprof {
+		mountPprof(mux)
+	}
 	s.mux = mux
 	return s
 }
@@ -222,6 +256,8 @@ func (s *Server) unprocessable(w http.ResponseWriter, err error) {
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.plan.Add(1)
+	span := obs.SpanFrom(r.Context())
+	span.StartPhase("decode")
 	var req PlanRequest
 	if err := DecodeStrict(r.Body, &req); err != nil {
 		s.badRequest(w, err)
@@ -232,17 +268,24 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
+	span.StartPhase("cache")
+	computed := false
 	out := s.planCache.Do(preq, func() planOutcome {
+		computed = true
+		span.StartPhase("plan")
 		preds, err := perfmodel.PlanOn(s.eng, preq)
 		if err != nil {
 			return planOutcome{err: err}
 		}
+		span.StartPhase("encode")
 		raw, err := json.Marshal(NewPlanResponse(preq.Model.Name, preq.P, preq.MiniBatch, preds))
 		if err != nil {
 			return planOutcome{err: err}
 		}
 		return planOutcome{body: raw}
 	})
+	span.EndPhase()
+	span.SetAttr("cache", cacheDisposition(computed))
 	if out.err != nil {
 		s.unprocessable(w, out.err)
 		return
@@ -254,6 +297,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleFleetPlan(w http.ResponseWriter, r *http.Request) {
 	s.fleetPlan.Add(1)
+	span := obs.SpanFrom(r.Context())
+	span.StartPhase("decode")
 	var req FleetPlanRequest
 	if err := DecodeStrict(r.Body, &req); err != nil {
 		s.badRequest(w, err)
@@ -270,17 +315,24 @@ func (s *Server) handleFleetPlan(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "encoding failure"})
 		return
 	}
+	span.StartPhase("cache")
+	computed := false
 	out := s.fleetCache.Do(string(key), func() planOutcome {
+		computed = true
+		span.StartPhase("allocate")
 		al, err := s.allocator.Allocate(freq)
 		if err != nil {
 			return planOutcome{err: err}
 		}
+		span.StartPhase("encode")
 		raw, err := json.Marshal(NewFleetPlanResponse(al))
 		if err != nil {
 			return planOutcome{err: err}
 		}
 		return planOutcome{body: raw}
 	})
+	span.EndPhase()
+	span.SetAttr("cache", cacheDisposition(computed))
 	if out.err != nil {
 		s.unprocessable(w, out.err)
 		return
@@ -297,6 +349,8 @@ func (s *Server) handleFleetPlan(w http.ResponseWriter, r *http.Request) {
 // byte-identical to the in-process encoding.
 func (s *Server) handleFleetSimulate(w http.ResponseWriter, r *http.Request) {
 	s.fleetSim.Add(1)
+	span := obs.SpanFrom(r.Context())
+	span.StartPhase("decode")
 	var sc FleetScenario
 	if err := DecodeStrict(r.Body, &sc); err != nil {
 		s.badRequest(w, err)
@@ -345,17 +399,24 @@ func (s *Server) handleFleetSimulate(w http.ResponseWriter, r *http.Request) {
 			return NewFleetSimResponse(res), nil
 		}
 	}
+	span.StartPhase("cache")
+	computed := false
 	out := s.fleetSimCache.Do(string(key), func() planOutcome {
+		computed = true
+		span.StartPhase("simulate")
 		resp, err := run()
 		if err != nil {
 			return planOutcome{err: err}
 		}
+		span.StartPhase("encode")
 		raw, err := json.Marshal(resp)
 		if err != nil {
 			return planOutcome{err: err}
 		}
 		return planOutcome{body: raw}
 	})
+	span.EndPhase()
+	span.SetAttr("cache", cacheDisposition(computed))
 	if out.err != nil {
 		s.unprocessable(w, out.err)
 		return
@@ -367,6 +428,8 @@ func (s *Server) handleFleetSimulate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.simulate.Add(1)
+	span := obs.SpanFrom(r.Context())
+	span.StartPhase("decode")
 	var req SimulateRequest
 	if err := DecodeStrict(r.Body, &req); err != nil {
 		s.badRequest(w, err)
@@ -377,16 +440,28 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
+	// Warm the schedule memo under its own phase so the span separates
+	// schedule construction from the replay proper; Evaluate below reuses
+	// the memoized schedule (and surfaces the same error on failure).
+	span.StartPhase("schedule_build")
+	if _, err := s.eng.Schedule(spec.Sched); err != nil {
+		s.unprocessable(w, err)
+		return
+	}
+	span.StartPhase("replay")
 	out := s.eng.Evaluate(spec)
 	if out.Err != nil {
 		s.unprocessable(w, out.Err)
 		return
 	}
+	span.StartPhase("encode")
 	s.writeJSON(w, http.StatusOK, NewSimulateResponse(out.Result, out.Recompute))
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.analyze.Add(1)
+	span := obs.SpanFrom(r.Context())
+	span.StartPhase("decode")
 	var req AnalyzeRequest
 	if err := DecodeStrict(r.Body, &req); err != nil {
 		s.badRequest(w, err)
@@ -397,21 +472,26 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
+	span.StartPhase("schedule_build")
 	sched, err := s.eng.Schedule(key)
 	if err != nil {
 		s.unprocessable(w, err)
 		return
 	}
+	span.StartPhase("analyze")
 	a, err := schedule.Analyze(sched)
 	if err != nil {
 		s.unprocessable(w, err)
 		return
 	}
+	span.StartPhase("encode")
 	s.writeJSON(w, http.StatusOK, NewAnalyzeResponse(a))
 }
 
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	s.render.Add(1)
+	span := obs.SpanFrom(r.Context())
+	span.StartPhase("decode")
 	var req RenderRequest
 	if err := DecodeStrict(r.Body, &req); err != nil {
 		s.badRequest(w, err)
@@ -437,11 +517,13 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, errUnknownFormat(format))
 		return
 	}
+	span.StartPhase("schedule_build")
 	sched, err := s.eng.Schedule(key)
 	if err != nil {
 		s.unprocessable(w, err)
 		return
 	}
+	span.StartPhase("render")
 	var content string
 	switch format {
 	case "ascii":
@@ -457,6 +539,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		s.unprocessable(w, err)
 		return
 	}
+	span.StartPhase("encode")
 	s.writeJSON(w, http.StatusOK, RenderResponse{Format: format, Content: content})
 }
 
@@ -519,8 +602,10 @@ func BuildVersion() string {
 }
 
 // Snapshot returns the current service counters (what /v1/stats serves).
+// The legacy counter fields are unchanged; the metrics field appends the
+// registry's full snapshot (counters, gauges, histogram quantiles).
 func (s *Server) Snapshot() StatsResponse {
-	return StatsResponse{
+	resp := StatsResponse{
 		Requests: RequestCounts{
 			Plan: s.plan.Load(), FleetPlan: s.fleetPlan.Load(), FleetSimulate: s.fleetSim.Load(),
 			Simulate: s.simulate.Load(),
@@ -536,6 +621,20 @@ func (s *Server) Snapshot() StatsResponse {
 		FleetSimCache: memoStats(s.fleetSimCache),
 		Engine:        NewEngineStats(s.eng.WorkerCount(), s.eng.Stats()),
 	}
+	if s.obs != nil {
+		snap := s.obs.reg.Snapshot()
+		resp.Metrics = &snap
+	}
+	return resp
+}
+
+// cacheDisposition names a response-cache lookup's outcome for span attrs
+// and the endpoint latency histograms' cache label.
+func cacheDisposition(computed bool) string {
+	if computed {
+		return "miss"
+	}
+	return "hit"
 }
 
 func memoStats[K comparable](m *engine.Memo[K, planOutcome]) CacheTableJSON {
