@@ -1,0 +1,125 @@
+package engine
+
+import "sync/atomic"
+
+// deque is a Chase–Lev work-stealing deque specialized to the pool's packed
+// task words (see pool.go: a task is (groupSlot+1)<<32 | index, never zero).
+// The owning worker pushes and pops at the bottom without synchronization
+// beyond atomic stores; thieves take from the top with a CAS. The ring
+// grows geometrically and never shrinks; a grown array is abandoned, not
+// recycled, so a thief that loaded the old array still reads the values
+// that were live when it loaded top — the subsequent CAS on top decides
+// ownership either way.
+//
+// Every slot is an atomic word, which makes the one benign data race of the
+// textbook algorithm (a thief reading a slot the owner is about to reuse)
+// a well-defined atomic read: if the slot was reused, top has necessarily
+// moved past the thief's snapshot and its CAS fails, discarding the value.
+type deque struct {
+	top    atomic.Int64
+	_      [56]byte // keep thieves' CAS line away from the owner's bottom
+	bottom atomic.Int64
+	_      [56]byte
+	arr    atomic.Pointer[dequeArr]
+
+	// rng is the owner's xorshift state for victim selection. Only the
+	// goroutine currently holding this deque's slot token touches it, and
+	// slot tokens transfer through a channel, so access is ordered.
+	rng uint64
+}
+
+// dequeArr is one immutable-capacity ring. len(buf) is a power of two.
+type dequeArr struct {
+	mask int64
+	buf  []atomic.Uint64
+}
+
+func newDequeArr(capacity int64) *dequeArr {
+	return &dequeArr{mask: capacity - 1, buf: make([]atomic.Uint64, capacity)}
+}
+
+func (a *dequeArr) get(i int64) uint64    { return a.buf[i&a.mask].Load() }
+func (a *dequeArr) put(i int64, v uint64) { a.buf[i&a.mask].Store(v) }
+
+const dequeInitialCap = 128
+
+func newDeque(seed uint64) *deque {
+	d := &deque{rng: seed}
+	d.arr.Store(newDequeArr(dequeInitialCap))
+	return d
+}
+
+// push appends v at the bottom. Owner-only.
+func (d *deque) push(v uint64) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.arr.Load()
+	if b-t >= int64(len(a.buf)) {
+		a = d.grow(a, b, t)
+	}
+	a.put(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the ring, copying the live logical range [t, b). Thieves
+// holding the old array keep reading correct values: old slots are never
+// written again.
+func (d *deque) grow(old *dequeArr, b, t int64) *dequeArr {
+	a := newDequeArr(int64(len(old.buf)) * 2)
+	for i := t; i < b; i++ {
+		a.put(i, old.get(i))
+	}
+	d.arr.Store(a)
+	return a
+}
+
+// pop removes and returns the most recently pushed value. Owner-only; the
+// only contention is a CAS race against thieves for the final element.
+func (d *deque) pop() (uint64, bool) {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore the canonical bottom == top state.
+		d.bottom.Store(b + 1)
+		return 0, false
+	}
+	a := d.arr.Load()
+	v := a.get(b)
+	if b > t {
+		return v, true
+	}
+	// Last element: win it from any concurrent thief via the top CAS.
+	won := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(b + 1)
+	if !won {
+		return 0, false
+	}
+	return v, true
+}
+
+// steal removes and returns the oldest value. Thief-side; any goroutine.
+func (d *deque) steal() (uint64, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if b <= t {
+		return 0, false
+	}
+	a := d.arr.Load()
+	v := a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return 0, false
+	}
+	return v, true
+}
+
+// nextVictim advances the owner's xorshift64 state; used to start steal
+// sweeps at a pseudo-random victim so thieves don't convoy on worker 0.
+func (d *deque) nextVictim(n int) int {
+	x := d.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	d.rng = x
+	return int((x >> 33) % uint64(n))
+}

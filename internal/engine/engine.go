@@ -18,6 +18,7 @@ package engine
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chimera/internal/model"
@@ -74,7 +75,7 @@ func (k ScheduleKey) canonical() ScheduleKey {
 	}
 	if k.Scheduler == "" {
 		k.Speed = ""
-	} else if factors, err := sim.DecodeSpeedFactors(k.Speed); err == nil && schedule.UniformSpeed(factors) {
+	} else if factors, err := decodeSpeed(k.Speed); err == nil && schedule.UniformSpeed(factors) {
 		k.Scheduler, k.Speed = "", ""
 	}
 	if k.Scheme != "chimera" {
@@ -144,11 +145,37 @@ type Spec struct {
 	Network      sim.Network
 }
 
+// decodedSpeed interns sim.DecodeSpeedFactors results keyed by the
+// canonical encoded string, so key canonicalization and sim.Config
+// materialization do zero decoding and zero allocation after a factor
+// string's first use. Interned slices are shared across evaluations and
+// must be treated as read-only (the simulator only reads them).
+var decodedSpeed sync.Map // string → *decodedFactors
+
+type decodedFactors struct {
+	factors []float64
+	err     error
+}
+
+func decodeSpeed(enc string) ([]float64, error) {
+	if enc == "" {
+		return nil, nil
+	}
+	if v, ok := decodedSpeed.Load(enc); ok {
+		d := v.(*decodedFactors)
+		return d.factors, d.err
+	}
+	factors, err := sim.DecodeSpeedFactors(enc)
+	v, _ := decodedSpeed.LoadOrStore(enc, &decodedFactors{factors, err})
+	d := v.(*decodedFactors)
+	return d.factors, d.err
+}
+
 // Config materializes the sim.Config for this spec around a built schedule.
 // The speed-factor string must be valid (callers validate at construction);
 // Evaluate surfaces a decode error as the outcome's Err.
 func (sp Spec) Config(s *schedule.Schedule) (sim.Config, error) {
-	factors, err := sim.DecodeSpeedFactors(sp.SpeedFactors)
+	factors, err := decodeSpeed(sp.SpeedFactors)
 	if err != nil {
 		return sim.Config{}, err
 	}
@@ -197,15 +224,32 @@ func (s Stats) HitRate() float64 {
 	return float64(hits) / float64(total)
 }
 
-// Engine owns a worker pool and the memoization tables. The zero value is
-// not usable; construct with New or use the process-wide Default engine.
+// Engine owns a work-stealing worker pool and the memoization tables. The
+// zero value is not usable; construct with New or use the process-wide
+// Default engine.
 type Engine struct {
 	workers  int
 	capacity int
-	// sem bounds in-flight ForEach bodies engine-wide, so Workers(n) holds
-	// even when many goroutines share one engine (the Default engine's
-	// normal situation), not just per call.
-	sem       chan struct{}
+	// slots carries the pool's worker tokens (slot ids 0..workers-1). It
+	// bounds in-flight ForEach bodies engine-wide, so Workers(n) holds even
+	// when many goroutines share one engine (the Default engine's normal
+	// situation), not just per call. See pool.go.
+	slots chan int
+	// deques[slot] is the Chase–Lev deque owned by that worker slot.
+	deques []*deque
+	// groups resolves packed task words to their task groups; groupFree is
+	// the free-list of group slots.
+	groups    []atomic.Pointer[taskGroup]
+	groupFree chan uint32
+	// running maps goroutine id → held slot for every goroutine currently
+	// executing pool bodies, so nested ForEach calls reuse their slot
+	// instead of deadlocking on a second token.
+	running sync.Map
+
+	// refCore routes evaluations through the retained reference replay
+	// interpreter (see ReferenceCore) instead of the compiled graph core.
+	refCore bool
+
 	schedules *Memo[ScheduleKey, schedOutcome]
 	criticals *Memo[ScheduleKey, critOutcome]
 	outcomes  *Memo[Spec, Outcome]
@@ -259,6 +303,16 @@ func Capacity(n int) Option {
 	}
 }
 
+// ReferenceCore routes every simulator evaluation through the retained
+// map-interpreter replay core (internal/refinterp) instead of the compiled
+// dependency-graph core. This is the seed implementation's evaluation path,
+// kept runnable so benchmarks can measure the optimized core against it
+// (BENCH_sweep.json's uncached_speedup) and tests can assert equivalence.
+// Never use it on a hot path.
+func ReferenceCore() Option {
+	return func(e *Engine) { e.refCore = true }
+}
+
 // New builds an engine with a GOMAXPROCS-sized pool and empty caches.
 func New(opts ...Option) *Engine {
 	e := &Engine{
@@ -275,7 +329,21 @@ func New(opts ...Option) *Engine {
 		e.criticals = NewMemoCap[ScheduleKey, critOutcome](e.capacity)
 		e.outcomes = NewMemoCap[Spec, Outcome](e.capacity)
 	}
-	e.sem = make(chan struct{}, e.workers)
+	e.slots = make(chan int, e.workers)
+	e.deques = make([]*deque, e.workers)
+	for s := 0; s < e.workers; s++ {
+		e.slots <- s
+		// splitmix64 of the slot id seeds each owner's victim rng.
+		z := (uint64(s) + 1) * 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		e.deques[s] = newDeque(z ^ (z >> 31))
+	}
+	e.groups = make([]atomic.Pointer[taskGroup], groupSlots)
+	e.groupFree = make(chan uint32, groupSlots)
+	for gs := uint32(0); gs < groupSlots; gs++ {
+		e.groupFree <- gs
+	}
 	e.initObserve()
 	return e
 }
@@ -305,6 +373,9 @@ func (e *Engine) WorkerCount() int { return e.workers }
 // use. The returned schedule is shared: callers must not mutate it.
 func (e *Engine) Schedule(key ScheduleKey) (*schedule.Schedule, error) {
 	key = key.canonical()
+	if out, ok := e.schedules.Cached(key); ok {
+		return out.s, out.err
+	}
 	m := e.met
 	out := e.schedules.Do(key, func() schedOutcome {
 		var start time.Time
@@ -322,7 +393,7 @@ func (e *Engine) Schedule(key ScheduleKey) (*schedule.Schedule, error) {
 
 func buildSchedule(key ScheduleKey) (*schedule.Schedule, error) {
 	if key.Scheduler != "" {
-		factors, err := sim.DecodeSpeedFactors(key.Speed)
+		factors, err := decodeSpeed(key.Speed)
 		if err != nil {
 			return nil, err
 		}
@@ -356,6 +427,9 @@ func (e *Engine) Graph(key ScheduleKey) (*schedule.Graph, error) {
 // schedule identified by key (§3.4's Eq. 1 inputs).
 func (e *Engine) CriticalPath(key ScheduleKey) (cf, cb int, err error) {
 	key = key.canonical()
+	if out, ok := e.criticals.Cached(key); ok {
+		return out.cf, out.cb, out.err
+	}
 	m := e.met
 	out := e.criticals.Do(key, func() critOutcome {
 		var start time.Time
@@ -383,9 +457,18 @@ func (e *Engine) Evaluate(spec Spec) Outcome {
 	spec.Sched = spec.Sched.canonical()
 	m := e.met
 	if m == nil {
+		// Completed-hit fast path: no closure, no allocation — repeat
+		// lookups of an interned key cost one map probe.
+		if out, ok := e.outcomes.Cached(spec); ok {
+			return out
+		}
 		return e.outcomes.Do(spec, func() Outcome { return e.evaluate(spec) })
 	}
 	start := time.Now()
+	if out, ok := e.outcomes.Cached(spec); ok {
+		m.wait.Since(start)
+		return out
+	}
 	computed := false
 	out := e.outcomes.Do(spec, func() Outcome {
 		computed = true
@@ -408,6 +491,7 @@ func (e *Engine) evaluate(spec Spec) Outcome {
 	if err != nil {
 		return Outcome{Err: err}
 	}
+	cfg.ReferenceReplay = e.refCore
 	if spec.AutoRecompute {
 		res, rec, err := sim.AutoRun(cfg)
 		return Outcome{Result: res, Recompute: rec, Err: err}

@@ -37,6 +37,9 @@ type Memo[K comparable, V any] struct {
 type memoEntry[V any] struct {
 	once sync.Once
 	v    V
+	// done publishes v: set (after v is written) by the goroutine that ran
+	// the computation, so Cached can hand out v without arming once.
+	done atomic.Bool
 	// elem is the entry's position in the LRU order; nil when the table is
 	// unbounded or the entry has been evicted. Guarded by Memo.mu.
 	elem *list.Element
@@ -94,8 +97,34 @@ func (m *Memo[K, V]) Do(key K, fn func() V) V {
 	} else {
 		m.misses.Add(1)
 	}
-	e.once.Do(func() { e.v = fn() })
+	e.once.Do(func() {
+		e.v = fn()
+		e.done.Store(true)
+	})
 	return e.v
+}
+
+// Cached returns the completed value for key, if any. It is the allocation-
+// free hit path: no closure is needed at the call site, so a warm lookup
+// costs one map probe and zero allocations. A key whose computation is
+// still in flight reports !ok — the caller falls back to Do and waits there
+// (counted as a hit by Do, preserving the stats semantics).
+func (m *Memo[K, V]) Cached(key K) (v V, ok bool) {
+	if m == nil {
+		return v, false
+	}
+	m.mu.Lock()
+	e, found := m.entries[key]
+	if found && e.done.Load() {
+		if e.elem != nil {
+			m.order.MoveToFront(e.elem)
+		}
+		m.mu.Unlock()
+		m.hits.Add(1)
+		return e.v, true
+	}
+	m.mu.Unlock()
+	return v, false
 }
 
 // Stats returns the cumulative hit and miss counts. A "hit" is a Do call

@@ -1,64 +1,244 @@
 package engine
 
 import (
-	"sync"
+	"runtime"
+	"sync/atomic"
 	"time"
 )
 
+// The pool is a work-stealing scheduler. Each of the engine's `workers`
+// slots owns a Chase–Lev deque (deque.go); a ForEach call acquires a slot
+// token, tags its n bodies with a task-group slot, pushes them onto its own
+// deque, lends any idle slots to helper goroutines, and then works — pop
+// from its own deque first, steal from random victims when it drains —
+// until its group's remaining-task count reaches zero.
+//
+// Tasks are packed words: (groupSlot+1)<<32 | index. The group-slot table
+// resolves a word to its taskGroup (body function + completion counter)
+// only after the task has been claimed from a deque, so a group slot is
+// never recycled while a claimable word still references it.
+//
+// Determinism: a body's identity is its submission index and results are
+// written into per-index slots, so stealing only permutes execution order —
+// Sweep output is bit-identical at any pool size.
+//
+// The Workers(n) bound is engine-wide and token-based: every goroutine
+// executing bodies (ForEach caller or helper) holds one of n slot tokens,
+// so concurrent ForEach/Sweep/Plan callers collectively run at most n
+// bodies at a time. Nested calls are re-entrant: a body that calls ForEach
+// on the same engine is detected through the running-goroutine registry and
+// reuses its held slot — it pushes the child tasks onto its own deque and
+// drains/steals them in place instead of waiting for a second token, so
+// nested evaluation cannot deadlock under saturation.
+type taskGroup struct {
+	fn        func(int)
+	remaining atomic.Int64
+	done      chan struct{}
+}
+
+// groupSlots is the size of the in-flight task-group table. Each live
+// ForEach holds one slot for its duration; if (absurdly) more groups than
+// this are in flight at once, the excess calls degrade to an inline serial
+// loop, which is always correct.
+const groupSlots = 256
+
+// helperMaxMisses is how many consecutive empty pop+steal sweeps a lent
+// helper tolerates before returning its slot token to the engine.
+const helperMaxMisses = 16
+
+// gid returns the current goroutine's id, parsed from the runtime stack
+// header ("goroutine N [running]:"). One call per ForEach, off the body
+// hot path.
+func gid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	var id uint64
+	for _, c := range buf[10:n] { // skip "goroutine "
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
 // ForEach runs fn(i) for every i in [0, n) on the engine's worker pool and
-// returns when all calls have completed. Indices are fed to a fixed set of
-// workers through a channel (the classic scheduler fan-out); with one
-// worker it degenerates to a plain loop, which is the serial reference
-// path used by tests and benchmarks.
-//
-// The Workers(n) bound is engine-wide: every fn invocation holds a slot
-// from a shared semaphore, so concurrent ForEach/Sweep/Plan callers on one
-// engine collectively run at most n bodies at a time. Consequently fn must
-// not call ForEach on the same engine (a holder waiting for child slots
-// can deadlock under saturation); evaluate work through Evaluate/Schedule
-// instead, which never re-enter the pool.
-//
-// fn must write results into per-index slots (not append to shared state)
-// so that the output is deterministic regardless of execution order.
+// returns when all calls have completed. fn must write results into
+// per-index slots (not append to shared state) so that the output is
+// deterministic regardless of execution order. fn may call ForEach (or
+// Sweep/Plan helpers that do) on the same engine: the nested call runs on
+// the caller's already-held worker slot.
 func (e *Engine) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	id := gid()
+	if slot, ok := e.running.Load(id); ok {
+		// Nested call from a goroutine already executing pool bodies:
+		// reuse its slot; do not touch the token channel.
+		e.forEachOn(slot.(int), n, fn)
+		return
+	}
+	slot := <-e.slots // blocks: enforces the engine-wide Workers bound
+	e.running.Store(id, slot)
+	e.forEachOn(slot, n, fn)
+	e.running.Delete(id)
+	e.slots <- slot
+}
+
+// forEachOn runs the group on the calling goroutine, which holds slot.
+func (e *Engine) forEachOn(slot, n int, fn func(int)) {
+	if n == 1 || e.workers == 1 {
+		e.runInline(slot, n, fn)
+		return
+	}
+	var gslot uint32
+	select {
+	case gslot = <-e.groupFree:
+	default:
+		e.runInline(slot, n, fn)
+		return
+	}
+	g := &taskGroup{fn: fn, done: make(chan struct{})}
+	g.remaining.Store(int64(n))
+	e.groups[gslot].Store(g)
+	d := e.deques[slot]
+	base := (uint64(gslot) + 1) << 32
+	for i := 0; i < n; i++ {
+		d.push(base | uint64(i))
+	}
+	if spare := min(e.workers-1, n-1); spare > 0 {
+		e.spawnHelpers(g, spare)
+	}
+	for {
+		select {
+		case <-g.done:
+			e.groups[gslot].Store(nil)
+			e.groupFree <- gslot
+			return
+		default:
+		}
+		v, ok := d.pop()
+		if !ok {
+			v, ok = e.steal(slot)
+		}
+		if ok {
+			e.runTask(slot, v)
+			continue
+		}
+		// Nothing runnable anywhere. Every task of g still pending is
+		// in flight on another worker (g's tasks live only in this deque
+		// until claimed), so block until the group completes.
+		<-g.done
+	}
+}
+
+// runInline executes the group serially on the held slot — the Workers(1)
+// reference path and the group-table-exhaustion fallback.
+func (e *Engine) runInline(slot, n int, fn func(int)) {
 	m := e.met
-	// run executes one body on worker slot w; with observability attached
-	// the slot's busy time accumulates into its per-worker counter.
-	run := func(w, i int) {
-		e.sem <- struct{}{}
-		defer func() { <-e.sem }()
-		if m != nil && w < len(m.workerBusy) {
+	if m != nil && slot < len(m.workerBusy) {
+		for i := 0; i < n; i++ {
 			start := time.Now()
 			fn(i)
-			m.workerBusy[w].Add(uint64(time.Since(start)))
-			return
-		}
-		fn(i)
-	}
-	workers := e.workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			run(0, i)
+			m.workerBusy[slot].Add(uint64(time.Since(start)))
 		}
 		return
 	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := range jobs {
-				run(w, i)
-			}
-		}(w)
-	}
 	for i := 0; i < n; i++ {
-		jobs <- i
+		fn(i)
 	}
-	close(jobs)
-	wg.Wait()
+}
+
+// runTask resolves a claimed packed word and executes its body on slot.
+func (e *Engine) runTask(slot int, v uint64) {
+	g := e.groups[uint32(v>>32)-1].Load()
+	i := int(uint32(v))
+	m := e.met
+	if m != nil && slot < len(m.workerBusy) {
+		start := time.Now()
+		g.fn(i)
+		m.workerBusy[slot].Add(uint64(time.Since(start)))
+	} else {
+		g.fn(i)
+	}
+	if g.remaining.Add(-1) == 0 {
+		close(g.done)
+	}
+}
+
+// spawnHelpers lends up to want idle slot tokens to helper goroutines that
+// steal on behalf of group g. Acquisition is non-blocking: a saturated
+// engine spawns none and the owner simply works alone.
+func (e *Engine) spawnHelpers(g *taskGroup, want int) {
+	for i := 0; i < want; i++ {
+		select {
+		case slot := <-e.slots:
+			go e.helper(slot, g)
+		default:
+			return
+		}
+	}
+}
+
+// helper is a lent worker: it drains its own deque (nested bodies it runs
+// may push children there), steals from victims, and returns its slot when
+// the group that spawned it completes or no work surfaces for a while.
+func (e *Engine) helper(slot int, g *taskGroup) {
+	id := gid()
+	e.running.Store(id, slot)
+	defer func() {
+		e.running.Delete(id)
+		e.slots <- slot
+	}()
+	d := e.deques[slot]
+	misses := 0
+	for {
+		v, ok := d.pop()
+		if !ok {
+			v, ok = e.steal(slot)
+		}
+		if ok {
+			e.runTask(slot, v)
+			misses = 0
+			continue
+		}
+		select {
+		case <-g.done:
+			return
+		default:
+		}
+		misses++
+		if misses >= helperMaxMisses {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// steal sweeps the other workers' deques once, starting at a pseudo-random
+// victim, and returns the first task claimed.
+func (e *Engine) steal(self int) (uint64, bool) {
+	n := len(e.deques)
+	if n < 2 {
+		return 0, false
+	}
+	d := e.deques[self]
+	off := d.nextVictim(n)
+	for i := 0; i < n; i++ {
+		w := off + i
+		if w >= n {
+			w -= n
+		}
+		if w == self {
+			continue
+		}
+		if v, ok := e.deques[w].steal(); ok {
+			if m := e.met; m != nil && self < len(m.workerSteals) {
+				m.workerSteals[self].Add(1)
+			}
+			return v, true
+		}
+	}
+	return 0, false
 }

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chimera/internal/model"
+)
+
+// TestForEachNestedNoDeadlock: a ForEach body may itself evaluate through
+// the engine (the fleet allocator's per-job evaluations call PlanOn, whose
+// grid fans out on the same engine). The old fixed fan-out pool deadlocked
+// here under saturation: the outer bodies held every worker slot and the
+// inner ForEach blocked forever waiting for one. The work-stealing pool
+// detects re-entry and runs nested task sets on the slot it already holds.
+func TestForEachNestedNoDeadlock(t *testing.T) {
+	e := New(Workers(2), NoCache())
+	done := make(chan struct{})
+	var total atomic.Int64
+	go func() {
+		defer close(done)
+		e.ForEach(8, func(i int) {
+			e.ForEach(8, func(j int) {
+				e.ForEach(2, func(k int) {
+					total.Add(int64(i*16 + j*2 + k + 1))
+				})
+			})
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested ForEach deadlocked under saturation")
+	}
+	// Σ (i·16 + j·2 + k + 1) over i,j ∈ [0,8), k ∈ [0,2).
+	want := int64(0)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			for k := 0; k < 2; k++ {
+				want += int64(i*16 + j*2 + k + 1)
+			}
+		}
+	}
+	if got := total.Load(); got != want {
+		t.Fatalf("nested ForEach ran wrong body set: sum %d, want %d", got, want)
+	}
+}
+
+// outcomeBytes folds a sweep's outcomes into one comparable string so the
+// determinism stress below asserts byte-identity, not just value equality.
+func outcomeBytes(outs []Outcome) string {
+	var b strings.Builder
+	for i, o := range outs {
+		fmt.Fprintf(&b, "%d:%v:%+v\n", i, o.Err, o.Result)
+	}
+	return b.String()
+}
+
+// TestSweepDeterministicAcrossPoolSizes: the same irregular task set must
+// produce byte-identical Sweep results and identical memo hit/miss counters
+// at every pool size — the work-stealing scheduler may reorder execution,
+// never results or cache population. Run under -race in CI, this is the
+// steal path's stress test.
+func TestSweepDeterministicAcrossPoolSizes(t *testing.T) {
+	// Two models' grids concatenated: per-task cost varies widely (D from
+	// 2 to 16, five schemes), the irregular shape stealing exists for.
+	specs := testGrid(model.BERT48(), 16, 128, []int{2, 4, 8}, []int{1, 2, 4, 8})
+	specs = append(specs, testGrid(model.GPT2Small32(), 16, 64, []int{4, 8, 16}, []int{1, 2})...)
+	if len(specs) < 24 {
+		t.Fatalf("grid too small (%d specs) to stress the scheduler", len(specs))
+	}
+	var refOut string
+	var refStats Stats
+	for _, w := range []int{1, 4, 16} {
+		e := New(Workers(w))
+		got := outcomeBytes(e.Sweep(specs))
+		stats := e.Stats()
+		if w == 1 {
+			refOut, refStats = got, stats
+			continue
+		}
+		if got != refOut {
+			t.Errorf("workers=%d: sweep outcomes not byte-identical to workers=1", w)
+		}
+		if stats != refStats {
+			t.Errorf("workers=%d: memo stats diverged: %+v, want %+v", w, stats, refStats)
+		}
+	}
+}
+
+// TestReferenceCoreIdenticalOutcomes: the ReferenceCore engine option swaps
+// graph replay for the retained map interpreter; outcomes must stay
+// bit-identical — it is the benchmark's honest baseline only if the two
+// cores compute the same function.
+func TestReferenceCoreIdenticalOutcomes(t *testing.T) {
+	specs := testGrid(model.BERT48(), 16, 128, []int{2, 4, 8}, []int{1, 2, 4, 8})
+	opt := New(NoCache()).Sweep(specs)
+	ref := New(NoCache(), ReferenceCore()).Sweep(specs)
+	if got, want := outcomeBytes(ref), outcomeBytes(opt); got != want {
+		t.Fatal("reference-core outcomes diverged from optimized core")
+	}
+}
+
+// BenchmarkMemoKeyAllocs measures a warm Evaluate — canonicalisation, memo
+// lookup and outcome return. The zero-alloc hit path (Memo.Cached plus
+// interned speed-factor decoding) keeps this at 0 allocs/op; BENCH_sweep's
+// allocs section reports the same number.
+func BenchmarkMemoKeyAllocs(b *testing.B) {
+	e := New()
+	specs := testGrid(model.BERT48(), 16, 128, []int{4}, []int{2})
+	if len(specs) == 0 {
+		b.Fatal("empty grid")
+	}
+	spec := specs[0]
+	if o := e.Evaluate(spec); o.Err != nil {
+		b.Fatal(o.Err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Evaluate(spec)
+	}
+}

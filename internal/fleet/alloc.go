@@ -286,18 +286,35 @@ func (a *Allocator) plannerGuided(req Request, pool []node) ([][]node, error) {
 // evals, when non-nil, counts job evaluations (one per job per round) — the
 // re-plan work measure the elastic benchmark reports.
 func (a *Allocator) greedyGrow(c Cluster, jobs []Job, shares [][]node, rest []node, evals *int) ([][]node, []node, error) {
+	type jobEval struct {
+		vals []jobValue
+		err  error
+	}
+	evaled := make([]jobEval, len(jobs))
 	for len(rest) >= Quantum {
-		bestJob, bestK, bestRate := -1, 0, 0.0
-		for i, j := range jobs {
+		// Each round's job evaluations are independent, so they go to the
+		// engine pool as one irregular task set (the per-job cost varies
+		// wildly with share size and plan-memo warmth). Every evaluation
+		// nests further ForEach calls — PlanOn fans its (W, D, B) grid out
+		// on the same engine — which the work-stealing pool runs in place
+		// on the submitting worker's deque. The rate scan below stays
+		// serial in job input order, so the selection (and *evals, counted
+		// in the same order) is identical to the sequential loop's.
+		a.eng.ForEach(len(jobs), func(i int) {
 			// One pass over the job's share extended by the whole
 			// remaining pool yields its value at every candidate size.
-			vals, err := a.prefixValues(c, j, withNodes(shares[i], rest))
-			if err != nil {
-				return nil, nil, err
+			vals, err := a.prefixValues(c, jobs[i], withNodes(shares[i], rest))
+			evaled[i] = jobEval{vals: vals, err: err}
+		})
+		bestJob, bestK, bestRate := -1, 0, 0.0
+		for i, j := range jobs {
+			if evaled[i].err != nil {
+				return nil, nil, evaled[i].err
 			}
 			if evals != nil {
 				*evals++
 			}
+			vals := evaled[i].vals
 			base := len(shares[i]) / Quantum * Quantum
 			cur := vals[base].tp
 			for k := 1; k*Quantum <= len(rest); k++ {

@@ -117,6 +117,7 @@ func PredictWithCritical(cfg sim.Config, cf, cb int) (*Prediction, error) {
 	ft := meanFLOPs * b / rate
 	p2p := cfg.Network.P2PCost(cfg.Model.BoundaryBytes(cfg.MicroBatch))
 	compute := float64(tlC.Makespan)*quantum + p2p*float64(cf+cb)
+	tlC.Release()
 
 	// Unoverlapped gradient synchronization: per worker, allreduce costs
 	// exceeding the free region between gradient completion and the end of
@@ -135,6 +136,7 @@ func PredictWithCritical(cfg sim.Config, cf, cb int) (*Prediction, error) {
 	scale := ft / 1000 // seconds per replay unit
 	ready := s.GradReady(tl)
 	ends := tl.ComputeEnd()
+	tl.Release()
 	r := len(s.Replicas) * cfg.W
 	var unoverlapped float64
 	for w := 0; w < s.D; w++ {
@@ -309,6 +311,13 @@ func plannerSchedulers(name string, factors []float64) ([]string, error) {
 // schedule that policy produces for the request's speed factors.
 func planOne(e *engine.Engine, req PlanRequest, w, d int, sched string, factors []float64) (*Prediction, error) {
 	perPipe := req.MiniBatch / w
+	// The canonical factor encoding is loop-invariant; encoding it once here
+	// (instead of per candidate B) keeps the b-loop allocation-free until a
+	// schedule is actually built.
+	speed := ""
+	if sched != "" {
+		speed = sim.EncodeSpeedFactors(factors)
+	}
 	for _, allowRecompute := range []bool{false, true} {
 		for b := req.MaxB; b >= 1; b /= 2 {
 			if perPipe%b != 0 {
@@ -318,7 +327,7 @@ func planOne(e *engine.Engine, req PlanRequest, w, d int, sched string, factors 
 			key := engine.ChimeraKey(d, n, 0, schedule.Direct)
 			if sched != "" {
 				key.Scheduler = sched
-				key.Speed = sim.EncodeSpeedFactors(factors)
+				key.Speed = speed
 			}
 			sch, err := e.Schedule(key)
 			if err != nil {

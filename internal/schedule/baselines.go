@@ -11,14 +11,15 @@ func GPipe(d, n int) (*Schedule, error) {
 	}
 	s := newSingleDown("gpipe", d, n, true)
 	for w := 0; w < d; w++ {
+		s.Workers[w] = make([]Op, 0, 2*n)
 		for m := 0; m < n; m++ {
 			s.Workers[w] = append(s.Workers[w],
-				Op{Kind: Forward, Stage: w, Replica: 0, Micros: []int{m}, prio: w + m})
+				Op{Kind: Forward, Stage: w, Replica: 0, Micros: microRun(m, 1), prio: w + m})
 		}
 		for m := 0; m < n; m++ {
 			// Backwards drain in micro-batch order from the last stage.
 			s.Workers[w] = append(s.Workers[w],
-				Op{Kind: Backward, Stage: w, Replica: 0, Micros: []int{m}, prio: n + d + (d - 1 - w) + m})
+				Op{Kind: Backward, Stage: w, Replica: 0, Micros: microRun(m, 1), prio: n + d + (d - 1 - w) + m})
 		}
 	}
 	s.sortWorkerOps()
@@ -51,6 +52,7 @@ func dapple1F1B(name string, d, n int, synchronous bool) (*Schedule, error) {
 	}
 	s := newSingleDown(name, d, n, synchronous)
 	for w := 0; w < d; w++ {
+		s.Workers[w] = make([]Op, 0, 2*n)
 		warmup := d - w
 		if warmup > n {
 			warmup = n
@@ -59,19 +61,19 @@ func dapple1F1B(name string, d, n int, synchronous bool) (*Schedule, error) {
 		nextF, nextB := 0, 0
 		for nextF < warmup {
 			s.Workers[w] = append(s.Workers[w],
-				Op{Kind: Forward, Stage: w, Replica: 0, Micros: []int{nextF}, prio: slot})
+				Op{Kind: Forward, Stage: w, Replica: 0, Micros: microRun(nextF, 1), prio: slot})
 			nextF++
 			slot++
 		}
 		// Steady state: one backward, one forward.
 		for nextB < n {
 			s.Workers[w] = append(s.Workers[w],
-				Op{Kind: Backward, Stage: w, Replica: 0, Micros: []int{nextB}, prio: slot})
+				Op{Kind: Backward, Stage: w, Replica: 0, Micros: microRun(nextB, 1), prio: slot})
 			nextB++
 			slot++
 			if nextF < n {
 				s.Workers[w] = append(s.Workers[w],
-					Op{Kind: Forward, Stage: w, Replica: 0, Micros: []int{nextF}, prio: slot})
+					Op{Kind: Forward, Stage: w, Replica: 0, Micros: microRun(nextF, 1), prio: slot})
 				nextF++
 				slot++
 			}
@@ -108,8 +110,8 @@ func GEMS(d, n int) (*Schedule, error) {
 		for st := 0; st < d; st++ {
 			w := rm.WorkerOf[st]
 			s.Workers[w] = append(s.Workers[w],
-				Op{Kind: Forward, Stage: st, Replica: rep, Micros: []int{m}, prio: base + st},
-				Op{Kind: Backward, Stage: st, Replica: rep, Micros: []int{m}, prio: base + 2*d - 1 - st})
+				Op{Kind: Forward, Stage: st, Replica: rep, Micros: microRun(m, 1), prio: base + st},
+				Op{Kind: Backward, Stage: st, Replica: rep, Micros: microRun(m, 1), prio: base + 2*d - 1 - st})
 		}
 	}
 	s.sortWorkerOps()

@@ -122,9 +122,9 @@ func (s *Schedule) emitPair(r int, micros []int, m int, phase, unitOffset int) {
 		fSlot := st + 2*m + phase + unitOffset
 		bSlot := 2*d - 1 - st + 2*m + phase + unitOffset
 		s.Workers[w] = append(s.Workers[w],
-			Op{Kind: Forward, Stage: st, Replica: r, Micros: append([]int(nil), micros...), prio: fSlot})
+			Op{Kind: Forward, Stage: st, Replica: r, Micros: internMicros(micros), prio: fSlot})
 		s.Workers[w] = append(s.Workers[w],
-			Op{Kind: Backward, Stage: st, Replica: r, Micros: append([]int(nil), micros...), prio: bSlot})
+			Op{Kind: Backward, Stage: st, Replica: r, Micros: internMicros(micros), prio: bSlot})
 	}
 	for _, mb := range micros {
 		s.MicroReplica[mb] = r
@@ -253,9 +253,9 @@ func emitOneF2BUnit(s *Schedule, f int, mbBase, offset int, halving bool) {
 				for st := 0; st < d; st++ {
 					w := rm.WorkerOf[st]
 					s.Workers[w] = append(s.Workers[w],
-						Op{Kind: Forward, Stage: st, Replica: rep, Micros: []int{m}, prio: fSlot + st},
-						Op{Kind: Backward, Stage: st, Replica: rep, Micros: []int{m}, Half: 1, prio: b0Slot - st},
-						Op{Kind: Backward, Stage: st, Replica: rep, Micros: []int{m}, Half: 2, prio: b1Slot - st})
+						Op{Kind: Forward, Stage: st, Replica: rep, Micros: microRun(m, 1), prio: fSlot + st},
+						Op{Kind: Backward, Stage: st, Replica: rep, Micros: microRun(m, 1), Half: 1, prio: b0Slot - st},
+						Op{Kind: Backward, Stage: st, Replica: rep, Micros: microRun(m, 1), Half: 2, prio: b1Slot - st})
 				}
 			} else {
 				m0, m1 := mbBase+local, mbBase+local+1
@@ -264,9 +264,9 @@ func emitOneF2BUnit(s *Schedule, f int, mbBase, offset int, halving bool) {
 				for st := 0; st < d; st++ {
 					w := rm.WorkerOf[st]
 					s.Workers[w] = append(s.Workers[w],
-						Op{Kind: Forward, Stage: st, Replica: rep, Micros: []int{m0, m1}, prio: fSlot + st},
-						Op{Kind: Backward, Stage: st, Replica: rep, Micros: []int{m0}, prio: b0Slot - st},
-						Op{Kind: Backward, Stage: st, Replica: rep, Micros: []int{m1}, prio: b1Slot - st})
+						Op{Kind: Forward, Stage: st, Replica: rep, Micros: microRun(m0, 2), prio: fSlot + st},
+						Op{Kind: Backward, Stage: st, Replica: rep, Micros: microRun(m0, 1), prio: b0Slot - st},
+						Op{Kind: Backward, Stage: st, Replica: rep, Micros: microRun(m1, 1), prio: b1Slot - st})
 				}
 			}
 		}

@@ -1,5 +1,14 @@
 package schedule
 
+// cpProbeA/cpProbeB are the two perturbed cost models CriticalPath replays.
+// They are lifted to ReplayConfigs once at init so the probes themselves
+// allocate nothing: with a warm graph arena a CriticalPath call is
+// allocation-free.
+var (
+	cpProbeA = CostModel{FUnit: 100, BUnit: 200}.replayConfig()
+	cpProbeB = CostModel{FUnit: 101, BUnit: 200}.replayConfig()
+)
+
 // CriticalPath returns (Cf, Cb): the number of forward and backward passes
 // on the critical path of the schedule under the practical workload ratio
 // (backward = 2× forward). It probes the dependency structure with two
@@ -9,14 +18,20 @@ package schedule
 // These are the Cf and Cb of the paper's Eq. 1 (§3.4). The counts depend
 // only on the schedule's dependency structure, so they are memoized per
 // ScheduleKey by internal/engine. Both probes are flat topological passes
-// over the schedule's compiled Graph — the graph is built once and shared.
+// over the schedule's compiled Graph — the graph is built once and shared —
+// and their timelines are released back to the graph's arena pool, so only
+// the makespans survive the call.
 func CriticalPath(s *Schedule) (cf, cb int, err error) {
 	g, err := s.Graph()
 	if err != nil {
 		return 0, 0, err
 	}
-	m1 := g.Replay(CostModel{FUnit: 100, BUnit: 200}).Makespan
-	m2 := g.Replay(CostModel{FUnit: 101, BUnit: 200}).Makespan
+	tl := g.ReplayWith(cpProbeA)
+	m1 := tl.Makespan
+	tl.Release()
+	tl = g.ReplayWith(cpProbeB)
+	m2 := tl.Makespan
+	tl.Release()
 	cf = int(m2 - m1)
 	cb = int((m1 - int64(cf)*100) / 200)
 	return cf, cb, nil

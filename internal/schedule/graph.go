@@ -3,6 +3,7 @@ package schedule
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Graph is a schedule compiled to a dependency-graph IR. Nodes are the
@@ -27,14 +28,82 @@ type Graph struct {
 	ops    []Op
 	worker []int32
 	// CSR predecessor lists: node id's predecessors are
-	// pred[predStart[id]:predStart[id+1]]. predCross[e] flags edges whose
-	// producer runs on a different worker than the consumer.
+	// pred[predStart[id]:predStart[id+1]]. An edge whose producer runs on
+	// a different worker than the consumer (it pays ReplayConfig.EdgeCost)
+	// is stored bitwise-complemented (^p < 0), packing the cross flag into
+	// the id's sign instead of a parallel []bool.
 	predStart []int32
 	pred      []int32
-	predCross []bool
 	// order is a topological order of the node ids (existence is proven at
 	// compile time; a cycle is the compile-time deadlock error).
 	order []int32
+}
+
+// predAt unpacks edge e: the producing node id and whether the edge
+// crosses workers.
+func (g *Graph) predAt(e int32) (int32, bool) {
+	p := g.pred[e]
+	if p < 0 {
+		return ^p, true
+	}
+	return p, false
+}
+
+// producerTab maps dependency tokens to producing node ids through a flat
+// index instead of a hash map: token (kind, micro, stage, half) lives at
+// ((kind·maxMicro + micro)·D + stage)·3 + half. Compilation is the
+// engine's uncached hot path and the map's hashing dominated its profile;
+// the flat table removes it. Tables recycle through a pool, and entries
+// are epoch-tagged (high half the owning compilation's epoch, low half
+// id+1) so a reused table needs no zeroing — a stale epoch reads as "no
+// producer".
+type producerTab struct {
+	d, maxMicro int
+	epoch       uint32
+	tab         []uint64
+}
+
+var producerPool sync.Pool
+
+func getProducerTab(d, maxMicro int) *producerTab {
+	p, _ := producerPool.Get().(*producerTab)
+	if p == nil {
+		p = &producerTab{}
+	}
+	need := 2 * maxMicro * d * 3
+	if cap(p.tab) < need {
+		p.tab = make([]uint64, need)
+	}
+	p.tab = p.tab[:need]
+	p.d, p.maxMicro = d, maxMicro
+	p.epoch++
+	if p.epoch == 0 { // wrapped: stale tags could collide, so clear once
+		p.epoch = 1
+		clear(p.tab)
+	}
+	return p
+}
+
+func (p *producerTab) idx(k depKey) int {
+	return ((int(k.kind)*p.maxMicro+k.micro)*p.d+k.stage)*3 + int(k.half)
+}
+
+// get returns the producing node id for k, if any.
+func (p *producerTab) get(k depKey) (int32, bool) {
+	v := p.tab[p.idx(k)]
+	if uint32(v>>32) != p.epoch {
+		return -1, false
+	}
+	return int32(uint32(v)) - 1, true
+}
+
+// putFirst records id as k's producer unless one is already recorded
+// (first producer wins on duplicate tokens; Validate rejects such
+// schedules separately).
+func (p *producerTab) putFirst(k depKey, id int32) {
+	if i := p.idx(k); uint32(p.tab[i]>>32) != p.epoch {
+		p.tab[i] = uint64(p.epoch)<<32 | uint64(uint32(id+1))
+	}
 }
 
 // Graph returns the schedule's compiled dependency graph, building it on
@@ -97,61 +166,68 @@ func compileGraph(s *Schedule) (*Graph, error) {
 	}
 	g.base[s.D] = int32(len(g.ops))
 
-	// producer[token] = node producing it. First producer wins on duplicate
-	// tokens; Validate rejects such schedules separately.
-	producer := make(map[depKey]int32, total)
-	for id, op := range g.ops {
+	// The producer table needs the micro-id range up front; micro ids are
+	// dense small integers by construction, so the flat table stays tiny
+	// (2·maxMicro·D·3 entries). maxEdges bounds the CSR: one program-order
+	// edge per op plus at most one data token per carried micro.
+	maxMicro, maxEdges := 0, 0
+	for _, op := range g.ops {
+		maxEdges += 1 + len(op.Micros)
 		for _, m := range op.Micros {
-			k := depKey{op.Kind, m, op.Stage, op.Half}
-			if _, dup := producer[k]; !dup {
-				producer[k] = int32(id)
+			if m < 0 {
+				return nil, fmt.Errorf("schedule %q (D=%d N=%d): op %s has negative micro-batch id", s.Scheme, s.D, s.N, op)
+			}
+			if m >= maxMicro {
+				maxMicro = m + 1
 			}
 		}
 	}
-
-	// Count edges per node, verifying every consumed token has a producer —
-	// an unresolvable token is the first class of construction deadlock, and
-	// it is diagnosable exactly here, with the op, worker and token in hand.
-	counts := make([]int32, total)
-	var compileErr error
+	producer := getProducerTab(s.D, maxMicro)
+	defer producerPool.Put(producer)
 	for id, op := range g.ops {
-		n := int32(0)
-		if int32(id) > g.base[g.worker[id]] {
-			n++ // program-order edge to the worker's previous op
+		for _, m := range op.Micros {
+			producer.putFirst(depKey{op.Kind, m, op.Stage, op.Half}, int32(id))
+		}
+	}
+
+	// Build the predecessor CSR in a single pass: edges are emitted
+	// directly into an upper-bound-sized array (trimmed afterwards) with
+	// predStart compacting as we go, verifying every consumed token has a
+	// producer — an unresolvable token is the first class of construction
+	// deadlock, and it is diagnosable exactly here, with the op, worker
+	// and token in hand.
+	g.predStart = make([]int32, total+1)
+	pred := make([]int32, maxEdges)
+	var compileErr error
+	e := int32(0)
+	for id, op := range g.ops {
+		w := g.worker[id]
+		g.predStart[id] = e
+		if int32(id) > g.base[w] {
+			pred[e] = int32(id) - 1 // program-order edge to the previous op
+			e++
 		}
 		s.depTokens(op, func(k depKey) {
-			if _, ok := producer[k]; !ok && compileErr == nil {
-				compileErr = fmt.Errorf("schedule %q (D=%d N=%d): deadlock: op %s on worker %d waits on %s, which no op produces",
-					s.Scheme, s.D, s.N, op, g.worker[id], k)
+			p, ok := producer.get(k)
+			if !ok {
+				if compileErr == nil {
+					compileErr = fmt.Errorf("schedule %q (D=%d N=%d): deadlock: op %s on worker %d waits on %s, which no op produces",
+						s.Scheme, s.D, s.N, op, w, k)
+				}
+				return
 			}
-			n++
+			if g.worker[p] != w {
+				p = ^p
+			}
+			pred[e] = p
+			e++
 		})
 		if compileErr != nil {
 			return nil, compileErr
 		}
-		counts[id] = n
 	}
-
-	g.predStart = make([]int32, total+1)
-	for id, n := range counts {
-		g.predStart[id+1] = g.predStart[id] + n
-	}
-	g.pred = make([]int32, g.predStart[total])
-	g.predCross = make([]bool, g.predStart[total])
-	for id, op := range g.ops {
-		w := g.worker[id]
-		e := g.predStart[id]
-		if int32(id) > g.base[w] {
-			g.pred[e] = int32(id) - 1
-			e++
-		}
-		s.depTokens(op, func(k depKey) {
-			p := producer[k]
-			g.pred[e] = p
-			g.predCross[e] = g.worker[p] != w
-			e++
-		})
-	}
+	g.predStart[total] = e
+	g.pred = pred[:e:e]
 
 	if err := g.topoSort(producer); err != nil {
 		return nil, err
@@ -163,28 +239,45 @@ func compileGraph(s *Schedule) (*Graph, error) {
 // lists. A cycle is the second class of construction deadlock (an op ordered
 // before one of its dependencies on the same worker); the error names the
 // first blocked op in worker order and the dependency token it waits on.
-func (g *Graph) topoSort(producer map[depKey]int32) error {
+func (g *Graph) topoSort(producer *producerTab) error {
 	total := len(g.ops)
-	indeg := make([]int32, total)
-	succCount := make([]int32, total)
+	edges := int(g.predStart[total])
+	// One pooled scratch block for the whole sort: indeg | succStart |
+	// succ. The successor CSR is built with the pointer-shift trick —
+	// counts land in succStart[p+1], the fill phase advances succStart[p]
+	// past each edge, leaving succStart[p] == the end of p's range (and
+	// p's start in succStart[p-1]) — so no separate count or fill arrays
+	// exist. Only succStart needs zeroing on reuse: indeg is assigned and
+	// every succ slot is written exactly once by the fill.
+	need := total + (total + 1) + edges
+	sp, _ := topoScratchPool.Get().(*[]int32)
+	if sp == nil {
+		sp = new([]int32)
+	}
+	if cap(*sp) < need {
+		*sp = make([]int32, need)
+	}
+	defer topoScratchPool.Put(sp)
+	block := (*sp)[:need]
+	clear(block[total : 2*total+1])
+	indeg := block[:total]
+	succStart := block[total : 2*total+1]
+	succ := block[2*total+1:]
 	for id := range g.ops {
 		indeg[id] = g.predStart[id+1] - g.predStart[id]
 		for e := g.predStart[id]; e < g.predStart[id+1]; e++ {
-			succCount[g.pred[e]]++
+			p, _ := g.predAt(e)
+			succStart[p+1]++
 		}
 	}
-	succStart := make([]int32, total+1)
-	for id, n := range succCount {
-		succStart[id+1] = succStart[id] + n
+	for id := 0; id < total; id++ {
+		succStart[id+1] += succStart[id]
 	}
-	succ := make([]int32, succStart[total])
-	fill := make([]int32, total)
-	copy(fill, succStart[:total])
 	for id := range g.ops {
 		for e := g.predStart[id]; e < g.predStart[id+1]; e++ {
-			p := g.pred[e]
-			succ[fill[p]] = int32(id)
-			fill[p]++
+			p, _ := g.predAt(e)
+			succ[succStart[p]] = int32(id)
+			succStart[p]++
 		}
 	}
 
@@ -196,7 +289,11 @@ func (g *Graph) topoSort(producer map[depKey]int32) error {
 	}
 	for head := 0; head < len(order); head++ {
 		id := order[head]
-		for e := succStart[id]; e < succStart[id+1]; e++ {
+		lo := int32(0)
+		if id > 0 {
+			lo = succStart[id-1]
+		}
+		for e := lo; e < succStart[id]; e++ {
 			n := succ[e]
 			indeg[n]--
 			if indeg[n] == 0 {
@@ -214,7 +311,7 @@ func (g *Graph) topoSort(producer map[depKey]int32) error {
 // deadlockError diagnoses a dependency cycle: it finds the first worker
 // whose next program-order op is blocked, and names that op, its worker, the
 // unmet dependency token, and the token's (equally stuck) producer.
-func (g *Graph) deadlockError(indeg []int32, producer map[depKey]int32) error {
+func (g *Graph) deadlockError(indeg []int32, producer *producerTab) error {
 	s := g.s
 	remaining := 0
 	for _, d := range indeg {
@@ -236,7 +333,7 @@ func (g *Graph) deadlockError(indeg []int32, producer map[depKey]int32) error {
 				if unmet != nil {
 					return
 				}
-				if p := producer[k]; indeg[p] > 0 || p == id {
+				if p, ok := producer.get(k); ok && (indeg[p] > 0 || p == id) {
 					kk := k
 					unmet = &kk
 				}
@@ -246,7 +343,7 @@ func (g *Graph) deadlockError(indeg []int32, producer map[depKey]int32) error {
 				// worker is part of the cycle; keep scanning that one.
 				continue
 			}
-			p := producer[*unmet]
+			p, _ := producer.get(*unmet)
 			return fmt.Errorf("schedule %q (D=%d N=%d): deadlock with %d ops unscheduled: op %s on worker %d waits on %s, whose producer %s on worker %d cannot run",
 				s.Scheme, s.D, s.N, remaining, op, w, *unmet, g.ops[p], g.worker[p])
 		}
@@ -254,35 +351,94 @@ func (g *Graph) deadlockError(indeg []int32, producer map[depKey]int32) error {
 	return fmt.Errorf("schedule %q (D=%d N=%d): deadlock with %d ops unscheduled", s.Scheme, s.D, s.N, remaining)
 }
 
+// replayArena is recyclable replay scratch: the timeline it fills (rows
+// carved from a single flat backing array) plus the per-node finish-time
+// array the pass consumes. Arenas live in one process-wide pool — the
+// uncached sweep compiles a fresh graph per evaluation, so per-graph pools
+// would never warm up — and rebind to whichever graph takes them: the
+// backing arrays grow to the largest graph seen and the row headers are
+// re-carved only when the graph changes. Timeline.Release returns them.
+type replayArena struct {
+	g    *Graph
+	tl   Timeline
+	end  []int64 // per-node finish times, indexed by node id
+	flat []int64 // backing store for the timeline's Start/End rows
+}
+
+var arenaPool sync.Pool
+
+// topoScratchPool recycles topoSort's scratch block across compilations
+// (the uncached sweep compiles a fresh graph per evaluation).
+var topoScratchPool sync.Pool
+
+func (g *Graph) getArena() *replayArena {
+	a, _ := arenaPool.Get().(*replayArena)
+	if a == nil {
+		a = &replayArena{}
+	}
+	if a.g == g {
+		a.tl.arena = a
+		return a
+	}
+	s := g.s
+	total := len(g.ops)
+	if cap(a.end) < total {
+		a.end = make([]int64, total)
+		a.flat = make([]int64, 2*total)
+	}
+	a.end = a.end[:total]
+	if cap(a.tl.Start) < s.D {
+		a.tl.Start = make([][]int64, s.D)
+		a.tl.End = make([][]int64, s.D)
+		a.tl.BusyTime = make([]int64, s.D)
+	}
+	a.tl.Start = a.tl.Start[:s.D]
+	a.tl.End = a.tl.End[:s.D]
+	a.tl.BusyTime = a.tl.BusyTime[:s.D]
+	for w := 0; w < s.D; w++ {
+		lo, hi := int(g.base[w]), int(g.base[w+1])
+		a.tl.Start[w] = a.flat[lo:hi:hi]
+		a.tl.End[w] = a.flat[total+lo : total+hi : total+hi]
+	}
+	a.g = g
+	a.tl.arena = a
+	return a
+}
+
 // ReplayWith evaluates the graph under rc in one topological pass: an op
 // starts at the latest of its predecessors' finish times (cross-worker edges
 // add EdgeCost) and runs for OpCost. The recurrence is exactly the map
 // interpreter's greedy semantics — each worker executes its list in order,
 // blocking on receives — so timelines are bit-identical to it.
+//
+// The returned timeline's arrays come from the graph's arena pool; callers
+// that are done reading may hand them back with Timeline.Release, making
+// steady-state replay allocation-free. A timeline that is never released is
+// simply collected — Release is an optimization, not an obligation.
 func (g *Graph) ReplayWith(rc ReplayConfig) *Timeline {
-	s := g.s
-	tl := &Timeline{
-		Start:    make([][]int64, s.D),
-		End:      make([][]int64, s.D),
-		BusyTime: make([]int64, s.D),
+	a := g.getArena()
+	tl := &a.tl
+	tl.Makespan = 0
+	tl.released = false
+	for w := range tl.BusyTime {
+		tl.BusyTime[w] = 0
 	}
-	for w := range tl.Start {
-		tl.Start[w] = make([]int64, len(s.Workers[w]))
-		tl.End[w] = make([]int64, len(s.Workers[w]))
-	}
-	end := make([]int64, len(g.ops))
+	end := a.end
 	for _, id := range g.order {
 		op := &g.ops[id]
 		w := g.worker[id]
 		var start int64
 		edge, haveEdge := int64(0), false
 		for e := g.predStart[id]; e < g.predStart[id+1]; e++ {
-			t := end[g.pred[e]]
-			if g.predCross[e] {
+			p := g.pred[e]
+			var t int64
+			if p < 0 {
 				if !haveEdge {
 					edge, haveEdge = rc.EdgeCost(*op), true
 				}
-				t += edge
+				t = end[^p] + edge
+			} else {
+				t = end[p]
 			}
 			if t > start {
 				start = t
@@ -302,8 +458,5 @@ func (g *Graph) ReplayWith(rc ReplayConfig) *Timeline {
 
 // Replay is ReplayWith under a uniform cost model.
 func (g *Graph) Replay(cm CostModel) *Timeline {
-	return g.ReplayWith(ReplayConfig{
-		OpCost:   func(_ int, op Op) int64 { return cm.Cost(op) },
-		EdgeCost: func(Op) int64 { return cm.P2P },
-	})
+	return g.ReplayWith(cm.replayConfig())
 }

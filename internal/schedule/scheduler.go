@@ -137,7 +137,7 @@ func newPlacementDAG(g *Graph, costs CostModel, speed []float64) (*placementDAG,
 			e++ // the worker's program-order edge: old placement, not data
 		}
 		for ; e < g.predStart[id+1]; e++ {
-			pd := g.pred[e]
+			pd, _ := g.predAt(e)
 			p.preds[id] = append(p.preds[id], pd)
 			p.succs[pd] = append(p.succs[pd], int32(id))
 		}

@@ -47,6 +47,25 @@ type Timeline struct {
 	Makespan int64
 	// BusyTime[w] is the total op duration on worker w.
 	BusyTime []int64
+
+	// arena links a graph-replay timeline back to its recyclable scratch
+	// (nil for timelines built elsewhere, e.g. the reference interpreter);
+	// released guards against double-Release.
+	arena    *replayArena
+	released bool
+}
+
+// Release hands the timeline's arrays back to the owning graph's arena pool
+// so the next replay reuses them without allocating. Callers must not read
+// the timeline after releasing it. Safe to call on any timeline: one whose
+// arrays were not pooled (the reference interpreter's, or a nil receiver)
+// is left untouched, and a second Release is a no-op.
+func (tl *Timeline) Release() {
+	if tl == nil || tl.arena == nil || tl.released {
+		return
+	}
+	tl.released = true
+	arenaPool.Put(tl.arena)
 }
 
 // depKey identifies the data token produced by an op for one micro-batch
@@ -64,6 +83,14 @@ type depKey struct {
 type ReplayConfig struct {
 	OpCost   func(worker int, op Op) int64
 	EdgeCost func(op Op) int64
+}
+
+// replayConfig lifts a uniform cost model into the ReplayWith seam.
+func (cm CostModel) replayConfig() ReplayConfig {
+	return ReplayConfig{
+		OpCost:   func(_ int, op Op) int64 { return cm.Cost(op) },
+		EdgeCost: func(Op) int64 { return cm.P2P },
+	}
 }
 
 // Replay computes start/end times for every op under a uniform cost model.
@@ -168,27 +195,41 @@ func (s *Schedule) WeightStashHighWater() []int {
 
 // sortWorkerOps orders each worker's list by construction priority, with a
 // deterministic tiebreak (replica, kind, micro). Generators call this after
-// emitting ops with prio slots.
+// emitting ops with prio slots; most emit in already-sorted order, which the
+// pre-scan detects to skip the sort (schedule construction is the uncached
+// sweep's hot path, and sort.SliceStable on sorted input still pays the
+// full comparator traffic).
 func (s *Schedule) sortWorkerOps() {
 	for w := range s.Workers {
 		ops := s.Workers[w]
-		sort.SliceStable(ops, func(i, j int) bool {
-			a, b := ops[i], ops[j]
-			if a.prio != b.prio {
-				return a.prio < b.prio
+		sorted := true
+		for i := 1; i < len(ops); i++ {
+			if opLess(ops[i], ops[i-1]) {
+				sorted = false
+				break
 			}
-			if a.Kind != b.Kind {
-				return a.Kind == Forward
-			}
-			if a.Replica != b.Replica {
-				return a.Replica < b.Replica
-			}
-			if a.Micros[0] != b.Micros[0] {
-				return a.Micros[0] < b.Micros[0]
-			}
-			return a.Half < b.Half
-		})
+		}
+		if sorted {
+			continue
+		}
+		sort.SliceStable(ops, func(i, j int) bool { return opLess(ops[i], ops[j]) })
 	}
+}
+
+func opLess(a, b Op) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	if a.Kind != b.Kind {
+		return a.Kind == Forward
+	}
+	if a.Replica != b.Replica {
+		return a.Replica < b.Replica
+	}
+	if a.Micros[0] != b.Micros[0] {
+		return a.Micros[0] < b.Micros[0]
+	}
+	return a.Half < b.Half
 }
 
 // ComputeEnd returns per-worker completion time of the final op.

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"chimera/internal/model"
+	"chimera/internal/refinterp"
 	"chimera/internal/schedule"
 )
 
@@ -69,11 +70,30 @@ type Config struct {
 	// 2 = a 2× slower straggler). Empty means homogeneous. When set, the
 	// length must equal the schedule's D and every factor must lie in
 	// [MinSpeedFactor, MaxSpeedFactor]. Factors scale compute only, not
-	// p2p or allreduce.
+	// p2p or allreduce. The slice may be shared between configs (the
+	// engine interns decoded factor strings); it is never mutated here.
 	SpeedFactors []float64
+
+	// ReferenceReplay evaluates the schedule with the retained map-based
+	// reference interpreter (internal/refinterp) instead of the compiled
+	// dependency-graph core. Timelines are bit-identical either way (the
+	// equivalence suite proves it); the reference is far slower and exists
+	// so benchmarks can measure the optimized core against the seed
+	// implementation. Never set it on a hot path.
+	ReferenceReplay bool
 
 	Device  Device
 	Network Network
+}
+
+// replay evaluates s under rc through the configured core. The returned
+// timeline must be handed back via schedule.(*Timeline).Release once the
+// caller is done reading it (a no-op for reference timelines).
+func (c *Config) replay(s *schedule.Schedule, rc schedule.ReplayConfig) (*schedule.Timeline, error) {
+	if c.ReferenceReplay {
+		return refinterp.ReplayWith(s, rc)
+	}
+	return s.ReplayWith(rc)
 }
 
 // speedFactor returns worker w's compute-time multiplier (1 when
@@ -119,13 +139,15 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tl, err := s.ReplayWith(schedule.ReplayConfig{
-		OpCost:   func(w int, op schedule.Op) int64 { return toQ(opSeconds(&cfg, stages, w, op)) },
-		EdgeCost: func(op schedule.Op) int64 { return toQ(edgeSeconds(&cfg, op)) },
+	coster := newOpCoster(&cfg, stages, s)
+	tl, err := cfg.replay(s, schedule.ReplayConfig{
+		OpCost:   coster.opCost,
+		EdgeCost: coster.edgeCost,
 	})
 	if err != nil {
 		return nil, err
 	}
+	defer tl.Release()
 	res := &Result{
 		BubbleRatio:  tl.BubbleRatio(),
 		ComputeSpan:  float64(tl.Makespan) * timeQuantum,
@@ -144,7 +166,7 @@ func Run(cfg Config) (*Result, error) {
 	if s.Synchronous {
 		iterEnd = syncFinish(&cfg, stages, computeEnd, gradReady)
 	} else {
-		iterEnd = asyncFinish(&cfg, stages, tl)
+		iterEnd = asyncFinish(&cfg, stages, coster, tl)
 	}
 	res.IterTime = iterEnd
 	span := res.ComputeSpan
@@ -194,6 +216,81 @@ func validate(cfg *Config) error {
 }
 
 func toQ(sec float64) int64 { return int64(math.Round(sec / timeQuantum)) }
+
+// opCoster memoizes quantized op and edge costs per shape. An op's cost
+// depends only on (worker when heterogeneous, stage, kind, micro count,
+// half) — a few hundred shapes — while a replay queries it once per op
+// (thousands), each recomputing FLOPs, efficiency curves and a rounding.
+// The table caches the exact toQ(opSeconds(...)) value, so replays are
+// bit-identical with and without it (the reference interpreter and the
+// compiled graph share one coster per Run). Entries are stored +1 so the
+// zero value means "not yet computed"; shapes beyond the sized table
+// (a doubled-N replay with wider ops) fall through to the direct path.
+type opCoster struct {
+	cfg    *Config
+	stages []model.Stage
+	d      int
+	perW   bool
+	maxLen int
+	cost   []int64
+	edge   []int64
+}
+
+func newOpCoster(cfg *Config, stages []model.Stage, s *schedule.Schedule) *opCoster {
+	maxLen := 1
+	for _, ops := range s.Workers {
+		for i := range ops {
+			if n := len(ops[i].Micros); n > maxLen {
+				maxLen = n
+			}
+		}
+	}
+	c := &opCoster{cfg: cfg, stages: stages, d: s.D, perW: len(cfg.SpeedFactors) != 0, maxLen: maxLen}
+	wc := 1
+	if c.perW {
+		wc = s.D
+	}
+	block := make([]int64, (wc*s.D*2+1)*maxLen*3)
+	c.cost = block[:wc*s.D*2*maxLen*3]
+	c.edge = block[len(c.cost):]
+	return c
+}
+
+func (c *opCoster) opCost(w int, op schedule.Op) int64 {
+	li := len(op.Micros) - 1
+	if li >= c.maxLen {
+		return toQ(opSeconds(c.cfg, c.stages, w, op))
+	}
+	wi := 0
+	if c.perW {
+		wi = w
+	}
+	k := 0
+	if op.Kind != schedule.Forward {
+		k = 1
+	}
+	i := ((wi*c.d+op.Stage)*2+k)*c.maxLen*3 + li*3 + int(op.Half)
+	if v := c.cost[i]; v != 0 {
+		return v - 1
+	}
+	v := toQ(opSeconds(c.cfg, c.stages, w, op))
+	c.cost[i] = v + 1
+	return v
+}
+
+func (c *opCoster) edgeCost(op schedule.Op) int64 {
+	li := len(op.Micros) - 1
+	if li >= c.maxLen {
+		return toQ(edgeSeconds(c.cfg, op))
+	}
+	i := li*3 + int(op.Half)
+	if v := c.edge[i]; v != 0 {
+		return v - 1
+	}
+	v := toQ(edgeSeconds(c.cfg, op))
+	c.edge[i] = v + 1
+	return v
+}
 
 // opSeconds is the compute time of one schedule op on worker w: FLOPs over
 // the device's effective rate at the op's effective batch size, scaled by
@@ -337,16 +434,17 @@ func syncFinish(cfg *Config, stages []model.Stage, computeEnd []int64, gradReady
 // synchronization adds per the scheme: PipeDream after every micro-batch
 // backward across the W pipelines; PipeDream-2BW one accumulated allreduce,
 // half-overlapped.
-func asyncFinish(cfg *Config, stages []model.Stage, tl *schedule.Timeline) float64 {
+func asyncFinish(cfg *Config, stages []model.Stage, coster *opCoster, tl *schedule.Timeline) float64 {
 	s := cfg.Schedule
 	steady := float64(tl.Makespan) * timeQuantum
 	if doubled, err := schedule.ByName(s.Scheme, s.D, 2*s.N); err == nil {
-		tl2, err := doubled.ReplayWith(schedule.ReplayConfig{
-			OpCost:   func(w int, op schedule.Op) int64 { return toQ(opSeconds(cfg, stages, w, op)) },
-			EdgeCost: func(op schedule.Op) int64 { return toQ(edgeSeconds(cfg, op)) },
+		tl2, err := cfg.replay(doubled, schedule.ReplayConfig{
+			OpCost:   coster.opCost,
+			EdgeCost: coster.edgeCost,
 		})
 		if err == nil {
 			steady = float64(tl2.Makespan-tl.Makespan) * timeQuantum
+			tl2.Release()
 		}
 	}
 	var worstSync float64
