@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-serve bench-fleet fuzz cover clean
+.PHONY: all build test race lint bench bench-serve bench-fleet bench-router fuzz cover clean
 
 all: build lint test
 
@@ -45,6 +45,17 @@ bench-serve:
 	./bin/chimera-serve -addr 127.0.0.1:8642 -max-inflight 4 & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null' EXIT; \
 	./bin/chimera-loadgen -addr http://127.0.0.1:8642 -out BENCH_serve.json
+
+# bench-router runs the self-contained router scaling benchmark: R
+# in-process single-slot replicas behind the consistent-hash router,
+# aggregate closed-loop rps at 1 vs R replicas, plus zipfian-skew tail
+# latency through the router. Gates (-min-router-scaling,
+# -max-zipf-p99-ms) are only meaningful on multi-core machines — replicas
+# sharing one core cannot scale.
+ROUTER_REPLICAS ?= 3
+bench-router:
+	$(GO) run ./cmd/chimera-loadgen -router-bench $(ROUTER_REPLICAS) -seed 1 \
+		-out BENCH_serve_router.json
 
 # fuzz explores beyond the committed seed corpora (testdata/fuzz replays on
 # every plain `go test`) for a bounded time per target, mirroring CI.

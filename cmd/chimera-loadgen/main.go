@@ -11,11 +11,29 @@
 //  2. endpoint smoke — every endpoint must answer;
 //  3. plan equivalence — served /v1/plan bodies must be byte-identical to
 //     encoding an in-process chimera.Plan through the same codec;
-//  4. closed-loop throughput — -clients workers issue -requests mixed
-//     requests back-to-back (requests/sec, p50/p99);
+//  4. closed-loop throughput — -clients workers issue mixed requests
+//     back-to-back (requests/sec, p50/p99); the request budget scales with
+//     -clients (50 each, min 200), or -duration time-bounds the phase;
 //  5. overload — a simultaneous burst far above the server's admission
 //     limit; every reply must be 200 or 429 (clean shedding, no transport
-//     errors), and with -expect-shed at least one 429 must occur.
+//     errors), and with -expect-shed at least one 429 must occur;
+//  6. batch equivalence — a /v1/plan:batch reply's items must be
+//     byte-identical to the same requests issued as sequential /v1/plan
+//     calls (including per-item error text);
+//  7. zipfian multi-tenant — -clients workers replay a seeded zipfian key
+//     schedule over -zipf-keys distinct tenants (skew -zipf-s), measuring
+//     tail latency when a hot set dominates.
+//
+// The whole run is deterministic for a given -seed: the zipfian schedule
+// and the router-bench workloads are drawn from a seeded RNG, and every
+// other phase's request order is fixed.
+//
+// -router-bench N switches to a self-contained router scaling benchmark
+// instead: it starts N in-process chimera-serve replicas (one engine
+// worker, one admission slot each) behind an in-process chimera-router,
+// measures aggregate closed-loop rps through the router at 1 replica and at
+// N, and replays the zipfian schedule through the router for p99 under
+// hot-set skew. -min-router-scaling gates the aggregate/single ratio.
 //
 // Any gate failure exits non-zero, so CI can call this binary directly.
 // Cold numbers are only meaningful against a freshly started server.
@@ -24,23 +42,30 @@
 //
 //	chimera-serve -addr 127.0.0.1:8642 -max-inflight 4 &
 //	chimera-loadgen -addr http://127.0.0.1:8642 -out BENCH_serve.json
+//	chimera-loadgen -router-bench 2 -out BENCH_serve_router.json
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chimera"
 	"chimera/internal/obs"
+	"chimera/internal/router"
 	"chimera/internal/serve"
 )
 
@@ -49,6 +74,7 @@ var client = &http.Client{Timeout: 120 * time.Second}
 // BenchServe is the machine-readable result (BENCH_serve.json).
 type BenchServe struct {
 	Addr          string      `json:"addr"`
+	Seed          int64       `json:"seed"`
 	EndpointsOK   bool        `json:"endpoints_ok"`
 	PlanCompared  int         `json:"plan_compared"`
 	PlanIdentical bool        `json:"plan_identical"`
@@ -67,6 +93,61 @@ type BenchServe struct {
 	// exclude client and transport time, so they bound how much of the
 	// client-observed latency the service itself spent.
 	Server *ServerMetrics `json:"server,omitempty"`
+	// Batch is the /v1/plan:batch equivalence phase (nil in -router-bench
+	// mode).
+	Batch *BatchBench `json:"batch,omitempty"`
+	// Zipf is the zipfian multi-tenant phase (nil when -zipf-keys=0).
+	Zipf *ZipfBench `json:"zipf,omitempty"`
+	// Router is the self-contained router scaling bench (-router-bench).
+	Router *RouterBench `json:"router,omitempty"`
+}
+
+// BatchBench summarizes the batch-equivalence phase.
+type BatchBench struct {
+	Items int `json:"items"`
+	// Identical reports every batch item matched its sequential single
+	// byte-for-byte (plans and error text alike).
+	Identical bool `json:"identical"`
+	// Errors counts items that (correctly) answered with a per-item error.
+	Errors int `json:"item_errors"`
+}
+
+// ZipfBench summarizes the zipfian multi-tenant phase.
+type ZipfBench struct {
+	Keys     int     `json:"keys"`
+	S        float64 `json:"s"`
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	// HotShare is the fraction of the schedule landing on the hottest key.
+	HotShare float64 `json:"hot_share"`
+	Seconds  float64 `json:"seconds"`
+	RPS      float64 `json:"requests_per_sec"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	Errors   int     `json:"errors"`
+}
+
+// RouterBench summarizes the self-contained router scaling benchmark. Each
+// in-process replica has one engine worker and one admission slot, so the
+// fleet's aggregate admission capacity — what the router shards across —
+// grows linearly in replica count; clients retry 429s, making the workload
+// capacity-bound rather than shed-bound.
+type RouterBench struct {
+	Replicas int `json:"replicas"`
+	Clients  int `json:"clients"`
+	Requests int `json:"requests_per_step"`
+	NumCPU   int `json:"num_cpu"`
+	// SingleRPS and AggregateRPS are closed-loop cold-plan rates through
+	// the router fronting 1 and Replicas replicas respectively; Scaling is
+	// their ratio.
+	SingleRPS    float64 `json:"single_rps"`
+	AggregateRPS float64 `json:"aggregate_rps"`
+	Scaling      float64 `json:"scaling"`
+	Retries429   int     `json:"retries_429"`
+	// Zipf is the seeded zipfian schedule replayed through the router
+	// against the Replicas-wide fleet: tail latency under hot-set skew when
+	// the hot tenants concentrate on their ring owners' warm caches.
+	Zipf ZipfBench `json:"zipf"`
 }
 
 // ServerMetrics folds the scraped /v1/plan endpoint histograms into the
@@ -121,15 +202,39 @@ func main() {
 	out := flag.String("out", "BENCH_serve.json", `output path ("-" for stdout)`)
 	passes := flag.Int("passes", 3, "warm passes over the latency request set")
 	clients := flag.Int("clients", 4, "closed-loop client goroutines")
-	requests := flag.Int("requests", 200, "total requests in the throughput phase")
+	requests := flag.Int("requests", 0, "total requests in the throughput phase (0 = 50×clients, min 200)")
+	duration := flag.Duration("duration", 0, "time-bound the throughput phase instead of counting requests (overrides -requests when > 0)")
+	seed := flag.Int64("seed", 1, "RNG seed; the zipfian and router-bench schedules are deterministic per seed")
 	burst := flag.Int("burst", 0, "overload burst size (0 = max(8×max_inflight, 32))")
 	minWarmSpeedup := flag.Float64("min-warm-speedup", 2.0, "gate: warm p50 must beat cold p50 by this factor (0 disables)")
 	expectShed := flag.Bool("expect-shed", true, "gate: the overload burst must shed at least one request")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for /healthz at startup")
 	scrape := flag.Bool("scrape", true, "scrape GET /metrics at end of run and fold server-side plan latency into the report")
+	zipfKeys := flag.Int("zipf-keys", 64, "distinct tenant keys in the zipfian phase (0 skips the phase)")
+	zipfS := flag.Float64("zipf-s", 1.2, "zipfian skew exponent (must be > 1)")
+	zipfRequests := flag.Int("zipf-requests", 0, "requests in the zipfian phase (0 = max(4×zipf-keys, 50×clients))")
+	maxZipfP99 := flag.Float64("max-zipf-p99-ms", 0, "gate: zipfian-phase p99 must stay under this many ms (0 disables)")
+	routerReplicas := flag.Int("router-bench", 0, "run the self-contained router scaling bench with this many in-process replicas instead of the server phases")
+	routerRequests := flag.Int("router-requests", 200, "cold plan requests per scaling step in -router-bench")
+	minRouterScaling := flag.Float64("min-router-scaling", 0, "gate: -router-bench aggregate rps must be at least this multiple of single-replica rps (0 disables)")
 	flag.Parse()
 
-	b, failures := run(*addr, *passes, *clients, *requests, *burst, *minWarmSpeedup, *expectShed, *scrape, *wait)
+	if *zipfKeys > 0 && *zipfS <= 1 {
+		fatal(fmt.Errorf("-zipf-s must be > 1 (got %g)", *zipfS))
+	}
+
+	var b *BenchServe
+	var failures []string
+	if *routerReplicas > 0 {
+		b, failures = runRouterBench(*seed, *routerReplicas, *routerRequests, *zipfKeys, *zipfS, *zipfRequests, *minRouterScaling, *maxZipfP99)
+	} else {
+		b, failures = run(runConfig{
+			addr: *addr, passes: *passes, clients: *clients, requests: *requests,
+			duration: *duration, seed: *seed, burst: *burst,
+			minWarmSpeedup: *minWarmSpeedup, expectShed: *expectShed, scrape: *scrape, wait: *wait,
+			zipfKeys: *zipfKeys, zipfS: *zipfS, zipfRequests: *zipfRequests, maxZipfP99: *maxZipfP99,
+		})
+	}
 
 	raw, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
@@ -142,13 +247,23 @@ func main() {
 		if err := os.WriteFile(*out, raw, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("serve benchmark: %d req/s (p50 %.1f ms, p99 %.1f ms), warm plan p50 %.1fx faster than cold, cache hit rate %.0f%%, shed %d/%d under overload, plan identical: %v\n",
-			int(b.Throughput.RPS), b.Throughput.P50Ms, b.Throughput.P99Ms,
-			b.WarmSpeedupP50, 100*b.CacheHitRate, b.Overload.Shed429, b.Overload.Offered, b.PlanIdentical)
-		if b.Server != nil {
-			fmt.Printf("server-side (scraped): %d plan requests, p50 %.2f ms, p99 %.1f ms (hit p50 %.2f ms over %d, miss p50 %.1f ms over %d)\n",
-				b.Server.PlanRequests, b.Server.PlanP50Ms, b.Server.PlanP99Ms,
-				b.Server.PlanHitP50Ms, b.Server.PlanHits, b.Server.PlanMissP50Ms, b.Server.PlanMisses)
+		if b.Router != nil {
+			fmt.Printf("router benchmark: %d replicas, single %d req/s -> aggregate %d req/s (%.2fx), zipf p99 %.1f ms over %d requests (%d cpus)\n",
+				b.Router.Replicas, int(b.Router.SingleRPS), int(b.Router.AggregateRPS), b.Router.Scaling,
+				b.Router.Zipf.P99Ms, b.Router.Zipf.Requests, b.Router.NumCPU)
+		} else {
+			fmt.Printf("serve benchmark: %d req/s (p50 %.1f ms, p99 %.1f ms), warm plan p50 %.1fx faster than cold, cache hit rate %.0f%%, shed %d/%d under overload, plan identical: %v\n",
+				int(b.Throughput.RPS), b.Throughput.P50Ms, b.Throughput.P99Ms,
+				b.WarmSpeedupP50, 100*b.CacheHitRate, b.Overload.Shed429, b.Overload.Offered, b.PlanIdentical)
+			if b.Zipf != nil {
+				fmt.Printf("zipf phase: %d keys (s=%.2f, hot share %.0f%%), %d req/s, p50 %.1f ms, p99 %.1f ms\n",
+					b.Zipf.Keys, b.Zipf.S, 100*b.Zipf.HotShare, int(b.Zipf.RPS), b.Zipf.P50Ms, b.Zipf.P99Ms)
+			}
+			if b.Server != nil {
+				fmt.Printf("server-side (scraped): %d plan requests, p50 %.2f ms, p99 %.1f ms (hit p50 %.2f ms over %d, miss p50 %.1f ms over %d)\n",
+					b.Server.PlanRequests, b.Server.PlanP50Ms, b.Server.PlanP99Ms,
+					b.Server.PlanHitP50Ms, b.Server.PlanHits, b.Server.PlanMissP50Ms, b.Server.PlanMisses)
+			}
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
@@ -160,14 +275,33 @@ func main() {
 	}
 }
 
-func run(addr string, passes, clients, requests, burst int, minWarmSpeedup float64, expectShed, scrape bool, wait time.Duration) (*BenchServe, []string) {
+// runConfig carries the benchmark-mode knobs into run.
+type runConfig struct {
+	addr                      string
+	passes, clients, requests int
+	duration                  time.Duration
+	seed                      int64
+	burst                     int
+	minWarmSpeedup            float64
+	expectShed, scrape        bool
+	wait                      time.Duration
+	zipfKeys                  int
+	zipfS                     float64
+	zipfRequests              int
+	maxZipfP99                float64
+}
+
+func run(cfg runConfig) (*BenchServe, []string) {
+	addr := cfg.addr
+	passes, clients, requests, burst := cfg.passes, cfg.clients, cfg.requests, cfg.burst
+	minWarmSpeedup, expectShed, scrape, wait := cfg.minWarmSpeedup, cfg.expectShed, cfg.scrape, cfg.wait
 	var failures []string
 	fail := func(format string, args ...any) { failures = append(failures, fmt.Sprintf(format, args...)) }
 
 	if err := waitHealthy(addr, wait); err != nil {
 		fatal(err)
 	}
-	b := &BenchServe{Addr: addr}
+	b := &BenchServe{Addr: addr, Seed: cfg.seed}
 
 	// Phase 1: cold vs warm latency over a fixed plan set. This must run
 	// first — anything else (even the smoke requests) would pre-warm the
@@ -212,8 +346,16 @@ func run(addr string, passes, clients, requests, burst int, minWarmSpeedup float
 		}
 	}
 
-	// Phase 4: closed-loop throughput over a warm mixed workload.
-	b.Throughput = closedLoop(addr, clients, requests)
+	// Phase 4: closed-loop throughput over a warm mixed workload. The
+	// request budget scales with the client count unless -duration
+	// time-bounds the phase.
+	if requests <= 0 {
+		requests = 50 * clients
+		if requests < 200 {
+			requests = 200
+		}
+	}
+	b.Throughput = closedLoop(addr, clients, requests, cfg.duration)
 	if b.Throughput.RPS <= 0 || b.Throughput.Requests-b.Throughput.Errors == 0 {
 		fail("throughput phase made no successful requests")
 	}
@@ -230,6 +372,37 @@ func run(addr string, passes, clients, requests, burst int, minWarmSpeedup float
 	if expectShed && b.Overload.Shed429 == 0 {
 		fail("overload burst of %d against max_inflight=%d shed nothing",
 			b.Overload.Offered, b.Overload.MaxInflight)
+	}
+
+	// Phase 6: batch equivalence — /v1/plan:batch items must match
+	// sequential singles byte-for-byte.
+	bb, err := compareBatch(addr)
+	if err != nil {
+		fail("batch equivalence: %v", err)
+	} else {
+		b.Batch = &bb
+		if !bb.Identical {
+			fail("batch items differ from sequential /v1/plan replies")
+		}
+	}
+
+	// Phase 7: zipfian multi-tenant tail latency.
+	if cfg.zipfKeys > 0 {
+		zr := cfg.zipfRequests
+		if zr <= 0 {
+			zr = 4 * cfg.zipfKeys
+			if min := 50 * clients; zr < min {
+				zr = min
+			}
+		}
+		z := zipfPhase(addr+"/v1/plan", cfg.seed, cfg.zipfKeys, cfg.zipfS, zr, clients, false)
+		b.Zipf = &z
+		if z.Errors > 0 {
+			fail("zipf phase: %d errored requests", z.Errors)
+		}
+		if cfg.maxZipfP99 > 0 && z.P99Ms > cfg.maxZipfP99 {
+			fail("zipf p99 %.1f ms exceeds budget %.1f ms", z.P99Ms, cfg.maxZipfP99)
+		}
 	}
 
 	var stats serve.StatsResponse
@@ -423,9 +596,12 @@ func measureDurations(addr string, reqs []serve.PlanRequest) ([]time.Duration, e
 	return out, nil
 }
 
-// closedLoop has `clients` goroutines issue `total` mixed requests
-// back-to-back (each next request starts when the previous reply lands).
-func closedLoop(addr string, clients, total int) Throughput {
+// closedLoop has `clients` goroutines issue mixed requests back-to-back
+// (each next request starts when the previous reply lands): `total`
+// requests, or as many as fit in `duration` when duration > 0. The mix
+// schedule is a pure function of the request index, so two runs with equal
+// budgets issue identical request sequences.
+func closedLoop(addr string, clients, total int, duration time.Duration) Throughput {
 	if clients < 1 {
 		clients = 1
 	}
@@ -459,44 +635,54 @@ func closedLoop(addr string, clients, total int) Throughput {
 		},
 	}
 	jobs := make(chan int)
-	durs := make([]time.Duration, total)
-	errs := make([]bool, total)
+	var mu sync.Mutex
+	var okDurs []time.Duration
+	nerr := 0
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var local []time.Duration
+			localErr := 0
 			for i := range jobs {
 				t0 := time.Now()
 				status, err := mix[i%len(mix)]()
-				durs[i] = time.Since(t0)
+				d := time.Since(t0)
 				if err != nil || status != http.StatusOK {
-					errs[i] = true
+					localErr++
+				} else {
+					local = append(local, d)
 				}
 			}
+			mu.Lock()
+			okDurs = append(okDurs, local...)
+			nerr += localErr
+			mu.Unlock()
 		}()
 	}
-	for i := 0; i < total; i++ {
-		jobs <- i
+	issued := 0
+	if duration > 0 {
+		deadline := start.Add(duration)
+		for i := 0; time.Now().Before(deadline); i++ {
+			jobs <- i
+			issued++
+		}
+	} else {
+		for i := 0; i < total; i++ {
+			jobs <- i
+		}
+		issued = total
 	}
 	close(jobs)
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 
-	var okDurs []time.Duration
-	nerr := 0
-	for i, d := range durs {
-		if errs[i] {
-			nerr++
-			continue
-		}
-		okDurs = append(okDurs, d)
-	}
 	s := summarize(okDurs)
 	return Throughput{
-		Clients: clients, Requests: total, Seconds: elapsed,
-		RPS: float64(total-nerr) / elapsed, P50Ms: s.P50Ms, P99Ms: s.P99Ms, Errors: nerr,
+		Clients: clients, Requests: issued, Seconds: elapsed,
+		RPS: float64(issued-nerr) / elapsed, P50Ms: s.P50Ms, P99Ms: s.P99Ms, Errors: nerr,
 	}
 }
 
@@ -561,6 +747,315 @@ func overload(addr string, burst int) Overload {
 	}
 	o.Clean = o.TransportErrors == 0 && o.UnexpectedStatus == 0 && o.Accepted+o.Shed429 == o.Offered
 	return o
+}
+
+// compareBatch issues one /v1/plan:batch and diffs every item against the
+// same request issued as a sequential single. The batch goes first, so the
+// bytes under test are the batch-computed ones; the singles then answer
+// from the response cache the batch populated — exactly the sharing the
+// endpoint's equivalence contract promises.
+func compareBatch(addr string) (BatchBench, error) {
+	reqs := []serve.PlanRequest{
+		{Model: serve.ModelRef{Preset: "bert48"}, P: 8, MiniBatch: 64, MaxB: 8,
+			Platform: serve.PlatformRef{Preset: "pizdaint"}},
+		{Model: serve.ModelRef{Preset: "gpt2-32"}, P: 16, MiniBatch: 128, MaxB: 8,
+			Platform: serve.PlatformRef{Preset: "pizdaint"}},
+		// Duplicate of item 0: the batch plans it once, answers it twice.
+		{Model: serve.ModelRef{Preset: "bert48"}, P: 8, MiniBatch: 64, MaxB: 8,
+			Platform: serve.PlatformRef{Preset: "pizdaint"}},
+		// Invalid (P=0): the per-item error text must match the single
+		// call's ErrorResponse.
+		{Model: serve.ModelRef{Preset: "bert48"}, P: 0, MiniBatch: 64,
+			Platform: serve.PlatformRef{Preset: "pizdaint"}},
+	}
+	bb := BatchBench{Items: len(reqs), Identical: true}
+	status, body, err := postJSON(addr+"/v1/plan:batch", serve.BatchPlanRequest{Requests: reqs})
+	if err != nil {
+		return bb, err
+	}
+	if status != http.StatusOK {
+		return bb, fmt.Errorf("batch status %d: %s", status, body)
+	}
+	var resp serve.BatchPlanResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return bb, err
+	}
+	if len(resp.Results) != len(reqs) {
+		return bb, fmt.Errorf("batch returned %d results for %d items", len(resp.Results), len(reqs))
+	}
+	for i, req := range reqs {
+		sStatus, sBody, err := postJSON(addr+"/v1/plan", req)
+		if err != nil {
+			return bb, err
+		}
+		item := resp.Results[i]
+		if sStatus == http.StatusOK {
+			if item.Error != "" || !bytes.Equal(item.Plan, sBody) {
+				bb.Identical = false
+			}
+			continue
+		}
+		bb.Errors++
+		var e serve.ErrorResponse
+		if err := json.Unmarshal(sBody, &e); err != nil {
+			return bb, err
+		}
+		if item.Error != e.Error || len(item.Plan) != 0 {
+			bb.Identical = false
+		}
+	}
+	return bb, nil
+}
+
+// tenantRequest is tenant k's plan problem: a distinct inline model name
+// per tenant gives each key its own plan-cache entry, while the small model
+// keeps a cold miss cheap enough that tail latency measures caching, not
+// raw planning cost.
+func tenantRequest(k int) serve.PlanRequest {
+	return serve.PlanRequest{
+		Model: serve.ModelRef{Name: fmt.Sprintf("zipf-tenant-%03d", k),
+			Layers: 12, Hidden: 512, Heads: 8, Vocab: 8192, SeqLen: 128},
+		P: 8, MiniBatch: 64, MaxB: 8,
+		Platform: serve.PlatformRef{Preset: "pizdaint"},
+	}
+}
+
+// zipfSchedule draws n key indexes in [0, keys) from a seeded zipfian
+// distribution (rank 0 heaviest). Deterministic per seed.
+func zipfSchedule(seed int64, keys, n int, s float64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(keys-1))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}
+
+// zipfPhase replays the seeded zipfian tenant schedule closed-loop against
+// planURL with `clients` workers. With retry429, a 429 is back-pressure
+// (the target deliberately sheds at tiny admission bounds in router-bench
+// mode) and the request retries until admitted — the retries are part of
+// the measured latency, as a real client would experience them.
+func zipfPhase(planURL string, seed int64, keys int, s float64, n, clients int, retry429 bool) ZipfBench {
+	sched := zipfSchedule(seed, keys, n, s)
+	counts := make([]int, keys)
+	for _, k := range sched {
+		counts[k]++
+	}
+	hot := 0
+	for _, c := range counts {
+		if c > hot {
+			hot = c
+		}
+	}
+	z := ZipfBench{Keys: keys, S: s, Clients: clients, Requests: n,
+		HotShare: float64(hot) / float64(n)}
+	jobs := make(chan int)
+	var mu sync.Mutex
+	var durs []time.Duration
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []time.Duration
+			localErr := 0
+			for i := range jobs {
+				req := tenantRequest(sched[i])
+				t0 := time.Now()
+				status, _, err := postJSON(planURL, req)
+				for retry429 && err == nil && status == http.StatusTooManyRequests {
+					time.Sleep(2 * time.Millisecond)
+					status, _, err = postJSON(planURL, req)
+				}
+				d := time.Since(t0)
+				if err != nil || status != http.StatusOK {
+					localErr++
+				} else {
+					local = append(local, d)
+				}
+			}
+			mu.Lock()
+			durs = append(durs, local...)
+			z.Errors += localErr
+			mu.Unlock()
+		}()
+	}
+	for i := range sched {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	z.Seconds = time.Since(start).Seconds()
+	sum := summarize(durs)
+	z.RPS = float64(n-z.Errors) / z.Seconds
+	z.P50Ms, z.P99Ms = sum.P50Ms, sum.P99Ms
+	return z
+}
+
+// inprocCluster is a self-contained serve fleet plus router, all in this
+// process on loopback listeners.
+type inprocCluster struct {
+	routerURL string
+	stop      func()
+}
+
+// startCluster boots n serve replicas — each deliberately tiny: one engine
+// worker, one admission slot — behind a router. Aggregate admission
+// capacity is then linear in n by construction, which is the property the
+// scaling measurement verifies the router delivers.
+func startCluster(n int) (*inprocCluster, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var urls []string
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		srv := serve.New(serve.Config{Workers: 1, MaxInflight: 1, CacheCapacity: 8192})
+		go srv.Serve(ctx, ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	rt, err := router.New(router.Config{Replicas: urls, HealthInterval: time.Second})
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	go rt.Serve(ctx, rln)
+	c := &inprocCluster{routerURL: "http://" + rln.Addr().String(), stop: cancel}
+	if err := waitHealthy(c.routerURL, 10*time.Second); err != nil {
+		cancel()
+		return nil, err
+	}
+	return c, nil
+}
+
+// rbRequest is scaling-step request i: a distinct inline model name makes
+// every request a cold plan on whichever replica owns it, and the problem
+// is sized so one plan holds its replica's single admission slot for
+// milliseconds of real compute — long enough that concurrent clients
+// contend on admission and the measured rps is the fleet's aggregate
+// capacity, not loopback HTTP concurrency.
+func rbRequest(tag string, i int) serve.PlanRequest {
+	return serve.PlanRequest{
+		Model: serve.ModelRef{Name: fmt.Sprintf("rb-%s-%05d", tag, i),
+			Layers: 48, Hidden: 1024, Heads: 16, Vocab: 30522, SeqLen: 128},
+		P: 64, MiniBatch: 512, MaxB: 16,
+		Platform: serve.PlatformRef{Preset: "pizdaint"},
+	}
+}
+
+// scaleStep drives stepRequests cold plans through the cluster's router
+// closed-loop and returns the achieved rps. 429s retry (counting into
+// retries): with one admission slot per replica they are the expected
+// back-pressure, and the steady-state rps is the fleet's aggregate
+// admission capacity as seen through the router.
+func scaleStep(c *inprocCluster, tag string, stepRequests, clients int, retries *atomic.Int64) float64 {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				req := rbRequest(tag, i)
+				for {
+					status, _, err := postJSON(c.routerURL+"/v1/plan", req)
+					if err == nil && status == http.StatusTooManyRequests {
+						retries.Add(1)
+						time.Sleep(2 * time.Millisecond)
+						continue
+					}
+					if err != nil || status != http.StatusOK {
+						errs.Add(1)
+					}
+					break
+				}
+			}
+		}()
+	}
+	for i := 0; i < stepRequests; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return float64(stepRequests-int(errs.Load())) / elapsed
+}
+
+// runRouterBench is -router-bench mode: the self-contained router scaling
+// benchmark (see the package comment).
+func runRouterBench(seed int64, replicas, stepRequests, zipfKeys int, zipfS float64, zipfRequests int, minScaling, maxZipfP99 float64) (*BenchServe, []string) {
+	var failures []string
+	fail := func(format string, args ...any) { failures = append(failures, fmt.Sprintf(format, args...)) }
+	if replicas < 1 {
+		replicas = 1
+	}
+	// Enough concurrent clients to saturate every replica's admission slot
+	// in both steps; the same count drives the 1-replica step so the two
+	// rates differ only in fleet width.
+	clients := 4 * replicas
+	if clients < 8 {
+		clients = 8
+	}
+	b := &BenchServe{Addr: "in-process", Seed: seed}
+	rb := &RouterBench{Replicas: replicas, Clients: clients, Requests: stepRequests, NumCPU: runtime.NumCPU()}
+	var retries atomic.Int64
+
+	single, err := startCluster(1)
+	if err != nil {
+		fatal(err)
+	}
+	rb.SingleRPS = scaleStep(single, "s", stepRequests, clients, &retries)
+	single.stop()
+
+	fleet, err := startCluster(replicas)
+	if err != nil {
+		fatal(err)
+	}
+	rb.AggregateRPS = scaleStep(fleet, "a", stepRequests, clients, &retries)
+	if rb.SingleRPS > 0 {
+		rb.Scaling = rb.AggregateRPS / rb.SingleRPS
+	}
+	rb.Retries429 = int(retries.Load())
+
+	if zipfKeys > 0 {
+		zr := zipfRequests
+		if zr <= 0 {
+			zr = 4 * zipfKeys
+			if zr < 200 {
+				zr = 200
+			}
+		}
+		rb.Zipf = zipfPhase(fleet.routerURL+"/v1/plan", seed, zipfKeys, zipfS, zr, clients, true)
+		if rb.Zipf.Errors > 0 {
+			fail("router zipf phase: %d errored requests", rb.Zipf.Errors)
+		}
+		if maxZipfP99 > 0 && rb.Zipf.P99Ms > maxZipfP99 {
+			fail("router zipf p99 %.1f ms exceeds budget %.1f ms", rb.Zipf.P99Ms, maxZipfP99)
+		}
+	}
+	fleet.stop()
+
+	if rb.AggregateRPS <= 0 {
+		fail("router bench made no successful requests")
+	}
+	if minScaling > 0 && rb.Scaling < minScaling {
+		fail("router scaling %.2fx (%.1f -> %.1f rps at %d replicas) below gate %.2fx",
+			rb.Scaling, rb.SingleRPS, rb.AggregateRPS, replicas, minScaling)
+	}
+	b.Router = rb
+	return b, failures
 }
 
 func summarize(ds []time.Duration) LatencySide {

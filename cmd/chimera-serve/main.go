@@ -46,6 +46,9 @@ func main() {
 	capacity := flag.Int("cache-capacity", 4096, "per-table engine cache bound with LRU eviction (0 = unbounded)")
 	maxInflight := flag.Int("max-inflight", 0, "admission limit on concurrent heavy requests (0 = 4×GOMAXPROCS)")
 	drain := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown wait for in-flight requests")
+	drainDelay := flag.Duration("drain-delay", 0, "hold the listener open (readiness reporting draining) this long after shutdown begins, so routers observe /readyz flip before connections are refused")
+	snapshotPath := flag.String("snapshot", "", "cache-snapshot file written by POST /v1/cache/snapshot (empty disables the endpoint)")
+	restore := flag.Bool("restore", false, "restore the response caches from the -snapshot file at startup (a missing or invalid file logs a warning and starts cold)")
 	logFormat := flag.String("log-format", "none", `access-log encoding on stderr: "json", "text", or "none"`)
 	flightRecorder := flag.Int("flight-recorder", 256, "recent request spans retained for GET /debug/requests (negative disables)")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -56,6 +59,8 @@ func main() {
 		CacheCapacity:  *capacity,
 		MaxInflight:    *maxInflight,
 		DrainTimeout:   *drain,
+		DrainDelay:     *drainDelay,
+		SnapshotPath:   *snapshotPath,
 		FlightRecorder: *flightRecorder,
 		EnablePprof:    *enablePprof,
 	}
@@ -69,6 +74,22 @@ func main() {
 		os.Exit(2)
 	}
 	s := serve.New(cfg)
+	if *restore {
+		if *snapshotPath == "" {
+			fmt.Fprintln(os.Stderr, "chimera-serve: -restore requires -snapshot")
+			os.Exit(2)
+		}
+		switch n, err := s.RestoreSnapshot(*snapshotPath); {
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("chimera-serve: no snapshot at %s, starting cold", *snapshotPath)
+		case err != nil:
+			// An unreadable snapshot is a warm-start optimization lost, not
+			// an outage: log and start cold.
+			log.Printf("chimera-serve: snapshot restore failed (%v), starting cold", err)
+		default:
+			log.Printf("chimera-serve: restored %d cache entries from %s", n, *snapshotPath)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -154,6 +154,78 @@ func (m *Memo[K, V]) Capacity() int {
 	return m.capacity
 }
 
+// Range calls fn for every completed entry, least-recently used first (so a
+// bounded table restored in Range order reproduces the LRU recency of the
+// source). In-flight computations are skipped — only published values are
+// visited. On an unbounded table the order is unspecified. fn runs outside
+// the table lock (the pairs are collected under it first), so it may call
+// back into the Memo; returning false stops the iteration. This is the
+// export half of the serve tier's cache snapshot.
+func (m *Memo[K, V]) Range(fn func(key K, value V) bool) {
+	if m == nil {
+		return
+	}
+	type kv struct {
+		k K
+		v V
+	}
+	m.mu.Lock()
+	pairs := make([]kv, 0, len(m.entries))
+	if m.capacity > 0 {
+		// Bounded: the LRU list holds every resident key, back = oldest.
+		for el := m.order.Back(); el != nil; el = el.Prev() {
+			k := el.Value.(K)
+			if e := m.entries[k]; e != nil && e.done.Load() {
+				pairs = append(pairs, kv{k, e.v})
+			}
+		}
+	} else {
+		for k, e := range m.entries {
+			if e.done.Load() {
+				pairs = append(pairs, kv{k, e.v})
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, p := range pairs {
+		if !fn(p.k, p.v) {
+			return
+		}
+	}
+}
+
+// Put inserts a completed entry, as if Do had computed value for key. An
+// existing entry (completed or in flight) wins: Put never overwrites, so a
+// snapshot restored into a live table cannot clobber fresher computations.
+// Respects the capacity bound (inserting may evict the least-recently used
+// entry) and counts neither a hit nor a miss. This is the import half of
+// the serve tier's cache snapshot.
+func (m *Memo[K, V]) Put(key K, value V) {
+	if m == nil {
+		return
+	}
+	e := &memoEntry[V]{v: value}
+	e.once.Do(func() {}) // burn the once so a later Do never recomputes
+	e.done.Store(true)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[key]; ok {
+		return
+	}
+	m.entries[key] = e
+	if m.capacity > 0 {
+		e.elem = m.order.PushFront(key)
+		for len(m.entries) > m.capacity {
+			back := m.order.Back()
+			victim := back.Value.(K)
+			m.order.Remove(back)
+			m.entries[victim].elem = nil
+			delete(m.entries, victim)
+			m.evictions.Add(1)
+		}
+	}
+}
+
 // Len returns the number of distinct keys computed or in flight.
 func (m *Memo[K, V]) Len() int {
 	if m == nil {

@@ -214,68 +214,104 @@ func Plan(req PlanRequest) ([]*Prediction, error) {
 // under the caller's control). The returned ranking is deterministic:
 // throughput descending, with ties broken by smaller D then larger B.
 func PlanOn(e *engine.Engine, req PlanRequest) ([]*Prediction, error) {
-	if req.MaxB == 0 {
-		req.MaxB = 64
-	}
-	factors, err := sim.DecodeSpeedFactors(req.SpeedFactors)
-	if err != nil {
-		return nil, fmt.Errorf("perfmodel: %w", err)
-	}
-	scheds, err := plannerSchedulers(req.Scheduler, factors)
-	if err != nil {
-		return nil, fmt.Errorf("perfmodel: %w", err)
-	}
+	preds, errs := PlanBatchOn(e, []PlanRequest{req})
+	return preds[0], errs[0]
+}
+
+// PlanBatchOn plans every request in one engine fan-out: the (W, D, policy)
+// candidate grids of all requests are concatenated and evaluated as a single
+// sweep over the worker pool, so a batch of N plans costs one pool traversal
+// (and co-scheduled candidates share the engine's schedule/critical-path
+// memos within the same pass) instead of N sequential fan-outs. Results and
+// errors are positional: preds[i]/errs[i] belong to reqs[i], and each is
+// identical to what PlanOn would return for that request alone — PlanOn is
+// this function at batch size one.
+func PlanBatchOn(e *engine.Engine, reqs []PlanRequest) ([][]*Prediction, []error) {
 	type candidate struct {
+		req   int // index into reqs
 		d     int
 		sched string
 	}
+	outPreds := make([][]*Prediction, len(reqs))
+	outErrs := make([]error, len(reqs))
+	factorsOf := make([][]float64, len(reqs))
+	// Normalize into a private copy: the MaxB default must reach planOne
+	// without mutating the caller's slice.
+	norm := make([]PlanRequest, len(reqs))
+	copy(norm, reqs)
+	reqs = norm
 	var grid []candidate
-	for d := 2; d <= req.P; d += 2 {
-		if req.P%d != 0 || req.Model.Layers%d != 0 {
+	for ri := range reqs {
+		req := &reqs[ri]
+		if req.MaxB == 0 {
+			req.MaxB = 64
+		}
+		factors, err := sim.DecodeSpeedFactors(req.SpeedFactors)
+		if err != nil {
+			outErrs[ri] = fmt.Errorf("perfmodel: %w", err)
 			continue
 		}
-		if req.MiniBatch%(req.P/d) != 0 {
+		scheds, err := plannerSchedulers(req.Scheduler, factors)
+		if err != nil {
+			outErrs[ri] = fmt.Errorf("perfmodel: %w", err)
 			continue
 		}
-		if len(factors) != 0 && d != len(factors) {
-			// The factors name the workers of one pipeline; only depths that
-			// match describe the cluster being planned for.
-			continue
-		}
-		for _, sched := range scheds {
-			grid = append(grid, candidate{d, sched})
+		factorsOf[ri] = factors
+		for d := 2; d <= req.P; d += 2 {
+			if req.P%d != 0 || req.Model.Layers%d != 0 {
+				continue
+			}
+			if req.MiniBatch%(req.P/d) != 0 {
+				continue
+			}
+			if len(factors) != 0 && d != len(factors) {
+				// The factors name the workers of one pipeline; only depths that
+				// match describe the cluster being planned for.
+				continue
+			}
+			for _, sched := range scheds {
+				grid = append(grid, candidate{ri, d, sched})
+			}
 		}
 	}
 	preds := make([]*Prediction, len(grid))
 	errs := make([]error, len(grid))
 	e.ForEach(len(grid), func(i int) {
 		c := grid[i]
-		preds[i], errs[i] = planOne(e, req, req.P/c.d, c.d, c.sched, factors)
+		req := reqs[c.req]
+		preds[i], errs[i] = planOne(e, req, req.P/c.d, c.d, c.sched, factorsOf[c.req])
 	})
-	var out []*Prediction
 	for i, p := range preds {
 		if errs[i] != nil || p == nil {
 			continue
 		}
-		out = append(out, p)
+		outPreds[grid[i].req] = append(outPreds[grid[i].req], p)
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("perfmodel: %w for P=%d B̂=%d", ErrInfeasible, req.P, req.MiniBatch)
+	for ri := range reqs {
+		if outErrs[ri] != nil {
+			continue
+		}
+		out := outPreds[ri]
+		if len(out) == 0 {
+			outPreds[ri] = nil
+			outErrs[ri] = fmt.Errorf("perfmodel: %w for P=%d B̂=%d", ErrInfeasible, reqs[ri].P, reqs[ri].MiniBatch)
+			continue
+		}
+		sort.Slice(out, func(i, j int) bool {
+			a, b := out[i], out[j]
+			if a.Throughput != b.Throughput {
+				return a.Throughput > b.Throughput
+			}
+			if a.D != b.D {
+				return a.D < b.D
+			}
+			if a.B != b.B {
+				return a.B > b.B
+			}
+			return a.Scheduler < b.Scheduler // fixed ("") before list policies
+		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Throughput != b.Throughput {
-			return a.Throughput > b.Throughput
-		}
-		if a.D != b.D {
-			return a.D < b.D
-		}
-		if a.B != b.B {
-			return a.B > b.B
-		}
-		return a.Scheduler < b.Scheduler // fixed ("") before list policies
-	})
-	return out, nil
+	return outPreds, outErrs
 }
 
 // plannerSchedulers expands a PlanRequest's scheduler selector into the

@@ -1,0 +1,612 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chimera/internal/obs"
+	"chimera/internal/serve"
+)
+
+// Config configures New.
+type Config struct {
+	// Replicas are the chimera-serve base URLs to shard across
+	// (e.g. "http://127.0.0.1:8642"). At least one is required.
+	Replicas []string
+	// VNodes is the ring's virtual-node count per replica
+	// (0 = DefaultVNodes).
+	VNodes int
+	// MaxAttempts bounds how many distinct replicas one request may try —
+	// the key's owner plus MaxAttempts-1 failovers (0 = min(3, len(Replicas))).
+	MaxAttempts int
+	// HealthInterval is the /readyz poll period (0 = 2s). The health loop
+	// only runs once Start is called; until the first sweep every replica
+	// is assumed ready, so a router can serve immediately.
+	HealthInterval time.Duration
+	// HealthTimeout bounds each /readyz probe (0 = 1s).
+	HealthTimeout time.Duration
+	// Client issues the forwarded requests (nil = a client with a 60s
+	// timeout; plans on a cold engine take seconds, not milliseconds).
+	Client *http.Client
+	// Registry, when non-nil, receives the router_* series; the router
+	// otherwise creates its own. GET /metrics serves it either way.
+	Registry *obs.Registry
+}
+
+// replicaState is the router's per-replica view: readiness plus the
+// replica-labelled metric handles (pre-resolved so the request path never
+// touches the registry mutex).
+type replicaState struct {
+	base string
+	// ready is flipped by the health loop (/readyz 200 → true; 503,
+	// transport error, or non-2xx → false) and pessimistically by the
+	// forwarding path on transport errors, so a crashed replica is routed
+	// around before the next poll.
+	ready     atomic.Bool
+	requests  *obs.Counter   // forwards answered by this replica
+	errors    *obs.Counter   // transport errors + 5xx from this replica
+	failovers *obs.Counter   // requests that failed over away from this replica
+	upGauge   *obs.Gauge     // 1 ready / 0 not
+	latency   *obs.Histogram // forward latency through this replica
+}
+
+func (rs *replicaState) setReady(up bool) {
+	rs.ready.Store(up)
+	if up {
+		rs.upGauge.Set(1)
+	} else {
+		rs.upGauge.Set(0)
+	}
+}
+
+// Router is the consistent-hash front tier. Build with New; the zero value
+// is not usable.
+type Router struct {
+	ring        *Ring
+	reps        map[string]*replicaState
+	client      *http.Client
+	maxAttempts int
+	healthEvery time.Duration
+	healthWait  time.Duration
+	mux         *http.ServeMux
+	reg         *obs.Registry
+	started     time.Time
+
+	unrouted atomic.Uint64 // requests refused because no replica answered
+}
+
+// New builds a Router over cfg.Replicas.
+func New(cfg Config) (*Router, error) {
+	ring := NewRing(cfg.Replicas, cfg.VNodes)
+	if len(ring.Replicas()) == 0 {
+		return nil, errString("router: at least one replica is required")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	if n := len(ring.Replicas()); maxAttempts > n {
+		maxAttempts = n
+	}
+	healthEvery := cfg.HealthInterval
+	if healthEvery <= 0 {
+		healthEvery = 2 * time.Second
+	}
+	healthWait := cfg.HealthTimeout
+	if healthWait <= 0 {
+		healthWait = time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	rt := &Router{
+		ring:        ring,
+		reps:        make(map[string]*replicaState, len(ring.Replicas())),
+		client:      client,
+		maxAttempts: maxAttempts,
+		healthEvery: healthEvery,
+		healthWait:  healthWait,
+		reg:         reg,
+		started:     time.Now(),
+	}
+	for _, rep := range ring.Replicas() {
+		label := obs.L("replica", rep)
+		rs := &replicaState{
+			base:      rep,
+			requests:  reg.Counter("router_requests_total", "requests answered by each replica", label),
+			errors:    reg.Counter("router_replica_errors_total", "transport errors and 5xx responses from each replica", label),
+			failovers: reg.Counter("router_failovers_total", "requests that failed over away from each replica", label),
+			upGauge:   reg.Gauge("router_replica_up", "replica readiness as seen by the health loop (1 ready / 0 not)", label),
+			latency:   reg.Histogram("router_request_duration_seconds", "forward latency through each replica", label),
+		}
+		rs.setReady(true) // optimistic until the first health sweep
+		rt.reps[rep] = rs
+	}
+	reg.CounterFunc("router_unrouted_total", "requests refused because every eligible replica failed",
+		rt.unrouted.Load)
+	reg.GaugeFunc("router_replicas", "configured replica count",
+		func() float64 { return float64(len(ring.Replicas())) })
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", rt.handleKeyed(planKey))
+	mux.HandleFunc("POST /v1/plan:batch", rt.handleBatch)
+	mux.HandleFunc("POST /v1/fleet/plan", rt.handleKeyed(fleetPlanKey))
+	mux.HandleFunc("POST /v1/fleet/simulate", rt.handleKeyed(fleetSimKey))
+	mux.HandleFunc("POST /v1/simulate", rt.handleKeyed(rawKey))
+	mux.HandleFunc("POST /v1/analyze", rt.handleKeyed(rawKey))
+	mux.HandleFunc("POST /v1/render", rt.handleKeyed(rawKey))
+	mux.HandleFunc("GET /v1/schedules", rt.handleKeyed(pathKey))
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux = mux
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Ring returns the router's consistent-hash ring.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Registry returns the router's metric registry.
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// Start runs the readiness loop until ctx is cancelled: one synchronous
+// sweep immediately, then one every HealthInterval.
+func (rt *Router) Start(ctx context.Context) {
+	rt.CheckNow(ctx)
+	t := time.NewTicker(rt.healthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.CheckNow(ctx)
+		}
+	}
+}
+
+// CheckNow probes every replica's /readyz once, concurrently, and updates
+// the routing table. A replica is ready iff the probe answers 200 within
+// HealthTimeout — 503 (draining), other statuses, and transport errors all
+// route around it.
+func (rt *Router) CheckNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, rs := range rt.reps {
+		wg.Add(1)
+		go func(rs *replicaState) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, rt.healthWait)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, rs.base+"/readyz", nil)
+			if err != nil {
+				rs.setReady(false)
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				rs.setReady(false)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			rs.setReady(resp.StatusCode == http.StatusOK)
+		}(rs)
+	}
+	wg.Wait()
+}
+
+// ListenAndServe serves the router on addr until ctx is cancelled, running
+// the health loop alongside.
+func (rt *Router) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return rt.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe on a caller-supplied listener.
+func (rt *Router) Serve(ctx context.Context, ln net.Listener) error {
+	hctx, stopHealth := context.WithCancel(ctx)
+	defer stopHealth()
+	go rt.Start(hctx)
+	hs := &http.Server{
+		Handler:           rt.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
+}
+
+// maxBodyBytes mirrors the serve tier's request-body cap.
+const maxBodyBytes = 1 << 20
+
+// keyFunc derives a request's routing key from its body. Keys use the same
+// canonicalization as the serve tier's response caches, so every equivalent
+// request — however its optional fields are spelled — lands on the replica
+// whose caches already hold it.
+type keyFunc func(path string, body []byte) string
+
+// planKey routes /v1/plan by the resolved plan request's canonical JSON —
+// exactly the serve plan-cache key. Bodies that fail to decode or resolve
+// fall back to a raw-body hash; the owning replica then emits the same 400
+// a direct request would get.
+func planKey(path string, body []byte) string {
+	var req serve.PlanRequest
+	if err := serve.DecodeStrict(bytes.NewReader(body), &req); err == nil {
+		if preq, err := req.Resolve(); err == nil {
+			if raw, err := json.Marshal(preq); err == nil {
+				return "plan:" + string(raw)
+			}
+		}
+	}
+	return rawKey(path, body)
+}
+
+// fleetPlanKey routes /v1/fleet/plan by the resolved request's canonical
+// JSON — the serve fleet-cache key.
+func fleetPlanKey(path string, body []byte) string {
+	var req serve.FleetPlanRequest
+	if err := serve.DecodeStrict(bytes.NewReader(body), &req); err == nil {
+		if freq, err := req.Resolve(); err == nil {
+			if raw, err := json.Marshal(freq); err == nil {
+				return "fleet:" + string(raw)
+			}
+		}
+	}
+	return rawKey(path, body)
+}
+
+// fleetSimKey routes /v1/fleet/simulate by the resolved scenario's
+// canonical JSON — the serve fleet-sim cache key (classic and elastic
+// scenarios marshal to distinct shapes, so keys cannot collide).
+func fleetSimKey(path string, body []byte) string {
+	var sc serve.FleetScenario
+	if err := serve.DecodeStrict(bytes.NewReader(body), &sc); err == nil {
+		if sc.Elastic() {
+			if esc, err := sc.ResolveElastic(); err == nil {
+				if raw, err := json.Marshal(esc); err == nil {
+					return "fleetsim:" + string(raw)
+				}
+			}
+		} else if csc, err := sc.Resolve(); err == nil {
+			if raw, err := json.Marshal(csc); err == nil {
+				return "fleetsim:" + string(raw)
+			}
+		}
+	}
+	return rawKey(path, body)
+}
+
+// rawKey routes by a hash of the request bytes: no response cache exists
+// for these endpoints, but equal bodies still reuse one replica's engine
+// caches (memoized schedules, critical paths).
+func rawKey(path string, body []byte) string {
+	return "raw:" + path + ":" + fmt.Sprintf("%016x", fnv64aBytes(body))
+}
+
+// pathKey routes body-less GETs by path alone.
+func pathKey(path string, _ []byte) string { return "path:" + path }
+
+func fnv64aBytes(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// handleKeyed forwards one request to its key's owner, failing over along
+// the ring on transport errors and 5xx.
+func (rt *Router) handleKeyed(key keyFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			rt.writeError(w, http.StatusBadRequest, "router: read body: "+err.Error())
+			return
+		}
+		resp, err := rt.forward(r, key(r.URL.Path, body), r.URL.Path, body)
+		if err != nil {
+			rt.unrouted.Add(1)
+			rt.writeError(w, http.StatusBadGateway, err.Error())
+			return
+		}
+		relay(w, resp)
+	}
+}
+
+// forwarded is a fully buffered upstream response, ready to relay or merge.
+type forwarded struct {
+	status      int
+	contentType string
+	requestID   string
+	body        []byte
+}
+
+// forward tries the key's owners in ring order (at most maxAttempts
+// distinct replicas), skipping replicas the health loop marked not-ready.
+// Transport errors and 5xx fail over to the next owner; everything else —
+// including 429 shed and 4xx validation errors — is the answer, relayed
+// as-is so the serve tier's back-pressure and error contracts pass through
+// unchanged. When every replica is marked not-ready the owners are tried
+// anyway: a stale health view should degrade to extra attempts, not an
+// outage.
+func (rt *Router) forward(r *http.Request, key, path string, body []byte) (*forwarded, error) {
+	owners := rt.ring.Owners(key, len(rt.ring.Replicas()))
+	candidates := make([]*replicaState, 0, len(owners))
+	for _, rep := range owners {
+		if rs := rt.reps[rep]; rs.ready.Load() {
+			candidates = append(candidates, rs)
+		}
+	}
+	if len(candidates) == 0 {
+		for _, rep := range owners {
+			candidates = append(candidates, rt.reps[rep])
+		}
+	}
+	if len(candidates) > rt.maxAttempts {
+		candidates = candidates[:rt.maxAttempts]
+	}
+	var lastErr error
+	for i, rs := range candidates {
+		if i > 0 {
+			candidates[i-1].failovers.Inc()
+		}
+		start := time.Now()
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, rs.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if len(body) > 0 {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if id := r.Header.Get("X-Request-Id"); id != "" {
+			req.Header.Set("X-Request-Id", id)
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			rs.errors.Inc()
+			rs.setReady(false) // passive detection: route around before the next poll
+			lastErr = err
+			continue
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			rs.errors.Inc()
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			rs.errors.Inc()
+			lastErr = fmt.Errorf("%s: upstream status %d", rs.base, resp.StatusCode)
+			continue
+		}
+		rs.requests.Inc()
+		rs.latency.Since(start)
+		return &forwarded{
+			status:      resp.StatusCode,
+			contentType: resp.Header.Get("Content-Type"),
+			requestID:   resp.Header.Get("X-Request-Id"),
+			body:        respBody,
+		}, nil
+	}
+	if lastErr == nil {
+		lastErr = errString("no replica available")
+	}
+	return nil, fmt.Errorf("router: all attempts failed: %w", lastErr)
+}
+
+// relay writes a forwarded response to the client verbatim.
+func relay(w http.ResponseWriter, f *forwarded) {
+	if f.contentType != "" {
+		w.Header().Set("Content-Type", f.contentType)
+	}
+	if f.requestID != "" {
+		w.Header().Set("X-Request-Id", f.requestID)
+	}
+	w.WriteHeader(f.status)
+	w.Write(f.body)
+}
+
+// handleBatch scatters /v1/plan:batch by per-item owner and gathers the
+// sub-batch replies positionally, so a routed batch returns exactly the
+// items a single replica would: each item routes by its /v1/plan cache key
+// (sub-batches land where the equivalent singles would), sub-batches
+// forward with the same failover policy as single requests, and the merged
+// reply marshals through the same serve codec shape.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "router: read body: "+err.Error())
+		return
+	}
+	var req serve.BatchPlanRequest
+	if err := serve.DecodeStrict(bytes.NewReader(body), &req); err != nil || len(req.Requests) == 0 || len(req.Requests) > serve.MaxBatchItems {
+		// Malformed, empty, or oversized: forward whole to one replica so
+		// the client gets the serve tier's own 400, byte-identical.
+		resp, ferr := rt.forward(r, rawKey(r.URL.Path, body), r.URL.Path, body)
+		if ferr != nil {
+			rt.unrouted.Add(1)
+			rt.writeError(w, http.StatusBadGateway, ferr.Error())
+			return
+		}
+		relay(w, resp)
+		return
+	}
+	// Group item indices by owning replica. Items that fail to resolve
+	// still route (by raw item hash) — the owner reports the same per-item
+	// error a direct batch would.
+	groups := make(map[string][]int)
+	for i, item := range req.Requests {
+		raw, err := json.Marshal(item)
+		if err != nil {
+			rt.writeError(w, http.StatusBadRequest, "router: encode item: "+err.Error())
+			return
+		}
+		owner := rt.ring.Owner(planKey("/v1/plan", raw))
+		groups[owner] = append(groups[owner], i)
+	}
+	owners := make([]string, 0, len(groups))
+	for owner := range groups {
+		owners = append(owners, owner)
+	}
+	sort.Strings(owners)
+	results := make([]serve.BatchPlanItem, len(req.Requests))
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for gi, owner := range owners {
+		wg.Add(1)
+		go func(gi int, idxs []int) {
+			defer wg.Done()
+			sub := serve.BatchPlanRequest{Requests: make([]serve.PlanRequest, len(idxs))}
+			for k, i := range idxs {
+				sub.Requests[k] = req.Requests[i]
+			}
+			subBody, err := json.Marshal(sub)
+			if err != nil {
+				errs[gi] = err
+				return
+			}
+			// The group key is its first item's plan key: that is the key
+			// whose ownership placed the group, so failover walks the same
+			// owner sequence a single request for it would.
+			firstRaw, _ := json.Marshal(req.Requests[idxs[0]])
+			f, err := rt.forward(r, planKey("/v1/plan", firstRaw), r.URL.Path, subBody)
+			if err != nil {
+				errs[gi] = err
+				return
+			}
+			if f.status != http.StatusOK {
+				errs[gi] = fmt.Errorf("sub-batch status %d: %s", f.status, truncate(f.body, 200))
+				return
+			}
+			var subResp serve.BatchPlanResponse
+			if err := json.Unmarshal(f.body, &subResp); err != nil {
+				errs[gi] = err
+				return
+			}
+			if len(subResp.Results) != len(idxs) {
+				errs[gi] = fmt.Errorf("sub-batch returned %d results for %d items", len(subResp.Results), len(idxs))
+				return
+			}
+			for k, i := range idxs {
+				results[i] = subResp.Results[k]
+			}
+		}(gi, groups[owner])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			rt.unrouted.Add(1)
+			rt.writeError(w, http.StatusBadGateway, "router: batch scatter: "+err.Error())
+			return
+		}
+	}
+	raw, err := json.Marshal(serve.BatchPlanResponse{Items: len(results), Results: results})
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, "router: encode batch reply")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
+// HealthResponse is the router's own GET /healthz reply.
+type HealthResponse struct {
+	Status        string          `json:"status"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Replicas      []ReplicaHealth `json:"replicas"`
+}
+
+// ReplicaHealth is one replica's state as the router sees it.
+type ReplicaHealth struct {
+	Addr  string `json:"addr"`
+	Ready bool   `json:"ready"`
+}
+
+// handleHealth reports the router's own liveness plus its view of each
+// replica. Status degrades to "degraded" when any replica is out and
+// "unrouted" when all are.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{UptimeSeconds: time.Since(rt.started).Seconds()}
+	up := 0
+	for _, rep := range rt.ring.Replicas() {
+		ready := rt.reps[rep].ready.Load()
+		if ready {
+			up++
+		}
+		resp.Replicas = append(resp.Replicas, ReplicaHealth{Addr: rep, Ready: ready})
+	}
+	switch {
+	case up == len(resp.Replicas):
+		resp.Status = "ok"
+	case up > 0:
+		resp.Status = "degraded"
+	default:
+		resp.Status = "unrouted"
+	}
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.reg.WritePrometheus(w)
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(raw)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, msg string) {
+	rt.writeJSON(w, status, serve.ErrorResponse{Error: msg})
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "…"
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

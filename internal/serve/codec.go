@@ -489,6 +489,33 @@ func (r SimulateRequest) Spec() (engine.Spec, error) {
 	}, nil
 }
 
+// MaxBatchItems bounds a /v1/plan:batch request's item list. Admission
+// control charges a whole batch one slot, so the bound keeps a single batch
+// from smuggling unbounded work past the inflight limit.
+const MaxBatchItems = 256
+
+// BatchPlanRequest is the /v1/plan:batch body: up to MaxBatchItems plan
+// problems validated together and evaluated as one engine sweep.
+type BatchPlanRequest struct {
+	Requests []PlanRequest `json:"requests"`
+}
+
+// BatchPlanItem is one /v1/plan:batch result. Exactly one of Plan and Error
+// is set: Plan carries the bytes a sequential POST /v1/plan would have
+// returned for the same item (the batch endpoint's equivalence contract),
+// Error the message that call would have put in its ErrorResponse.
+type BatchPlanItem struct {
+	Plan  json.RawMessage `json:"plan,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+// BatchPlanResponse is the /v1/plan:batch reply; Results is positional
+// (Results[i] answers Requests[i]).
+type BatchPlanResponse struct {
+	Items   int             `json:"items"`
+	Results []BatchPlanItem `json:"results"`
+}
+
 // AnalyzeRequest is the /v1/analyze body.
 type AnalyzeRequest struct {
 	Schedule ScheduleRef `json:"schedule"`
@@ -652,6 +679,7 @@ func NewEngineStats(workers int, st engine.Stats) EngineStatsJSON {
 // RequestCounts are per-endpoint admitted-request counters in /v1/stats.
 type RequestCounts struct {
 	Plan          uint64 `json:"plan"`
+	PlanBatch     uint64 `json:"plan_batch"`
 	FleetPlan     uint64 `json:"fleet_plan"`
 	FleetSimulate uint64 `json:"fleet_simulate"`
 	Simulate      uint64 `json:"simulate"`
@@ -659,7 +687,9 @@ type RequestCounts struct {
 	Schedules     uint64 `json:"schedules"`
 	Render        uint64 `json:"render"`
 	Health        uint64 `json:"healthz"`
+	Ready         uint64 `json:"readyz"`
 	Stats         uint64 `json:"stats"`
+	CacheSnapshot uint64 `json:"cache_snapshot"`
 }
 
 // StatsResponse is the /v1/stats reply.
@@ -691,9 +721,29 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// ReadyResponse is the /readyz reply: the readiness half of the liveness/
+// readiness split. Status is "ready" (HTTP 200) while the server accepts new
+// work and "draining" (HTTP 503) from the moment graceful shutdown begins,
+// so a router or load balancer stops sending new requests before the
+// listener actually closes.
+type ReadyResponse struct {
+	Status string `json:"status"`
+}
+
+// SnapshotResponse is the POST /v1/cache/snapshot reply.
+type SnapshotResponse struct {
+	Path string `json:"path"`
+	// Entries is how many cached responses the snapshot holds; Bytes the
+	// on-disk file size including the header and checksum.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
 // HealthResponse is the /healthz reply: liveness plus the build identity
 // and uptime an operator needs to tell which binary has been running for
-// how long.
+// how long. Status stays "ok" for as long as the process can answer at all
+// (liveness); it reports "draining" once graceful shutdown has begun —
+// readiness proper lives on /readyz, which flips to 503 at that moment.
 type HealthResponse struct {
 	Status string `json:"status"`
 	// Version is the module version, refined by the VCS revision when the

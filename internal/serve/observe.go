@@ -32,6 +32,11 @@ type serveObs struct {
 	recorder  *obs.Recorder
 	endpoints map[string]*endpointMetrics
 
+	// batchItems records /v1/plan:batch sizes. The obs histogram buckets
+	// durations, so a batch of n items is observed as n seconds — the
+	// "seconds" quantiles read directly as item counts.
+	batchItems *obs.Histogram
+
 	// idPrefix + idSeq generate request IDs (prefix-000001); the random
 	// prefix keeps IDs from colliding across server restarts.
 	idPrefix string
@@ -75,8 +80,9 @@ func (s *Server) initObserve(cfg Config) {
 		logFormat: cfg.LogFormat,
 	}
 	for _, ep := range []string{
-		"plan", "fleet_plan", "fleet_simulate", "simulate", "analyze",
-		"render", "schedules", "stats", "health", "metrics", "debug_requests",
+		"plan", "plan_batch", "fleet_plan", "fleet_simulate", "simulate", "analyze",
+		"render", "schedules", "stats", "health", "ready", "cache_snapshot",
+		"metrics", "debug_requests",
 	} {
 		em := &endpointMetrics{byCache: make(map[string]*obs.Histogram, len(cacheLabels))}
 		for _, c := range cacheLabels {
@@ -98,9 +104,11 @@ func (s *Server) initObserve(cfg Config) {
 	reg.CounterFunc("serve_server_errors_total", "5xx responses",
 		s.serverErrors.Load)
 	for ep, src := range map[string]*atomic.Uint64{
-		"plan": &s.plan, "fleet_plan": &s.fleetPlan, "fleet_simulate": &s.fleetSim,
+		"plan": &s.plan, "plan_batch": &s.planBatch,
+		"fleet_plan": &s.fleetPlan, "fleet_simulate": &s.fleetSim,
 		"simulate": &s.simulate, "analyze": &s.analyze, "schedules": &s.schedules,
-		"render": &s.render, "health": &s.health, "stats": &s.stats,
+		"render": &s.render, "health": &s.health, "ready": &s.ready,
+		"stats": &s.stats, "cache_snapshot": &s.cacheSnapshot,
 	} {
 		reg.CounterFunc("serve_requests_total", "requests reaching each handler",
 			src.Load, obs.L("endpoint", ep))
@@ -123,6 +131,21 @@ func (s *Server) initObserve(cfg Config) {
 		reg.GaugeFunc("serve_cache_entries", "response-cache resident entries",
 			func() float64 { return float64(memo.Len()) }, label)
 	}
+	o.batchItems = reg.Histogram("serve_batch_items",
+		"items per /v1/plan:batch request (bucketed as seconds: n items = n s)")
+	reg.GaugeFunc("serve_ready", "1 while accepting new work, 0 once draining",
+		func() float64 {
+			if s.draining.Load() {
+				return 0
+			}
+			return 1
+		})
+	reg.GaugeFunc("serve_snapshot_age_seconds", "age of the newest cache snapshot written or restored (0 = none)",
+		s.SnapshotAgeSeconds)
+	reg.CounterFunc("serve_snapshots_written_total", "cache snapshots written to disk",
+		s.snapshotsWritten.Load)
+	reg.GaugeFunc("serve_snapshot_restored_entries", "cache entries inserted by the last snapshot restore",
+		func() float64 { return float64(s.restoredEntries.Load()) })
 	if recorder != nil {
 		reg.CounterFunc("serve_spans_recorded_total", "spans seen by the flight recorder",
 			func() uint64 { return recorder.Total() })

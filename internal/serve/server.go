@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -35,6 +36,15 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown's wait for in-flight requests
 	// (0 = 15s).
 	DrainTimeout time.Duration
+	// DrainDelay holds the listener open (still serving, but with /readyz
+	// reporting draining) for this long after shutdown begins, giving a
+	// router or load balancer time to observe the readiness flip and stop
+	// routing new work before connections start being refused (0 = none).
+	DrainDelay time.Duration
+	// SnapshotPath is where POST /v1/cache/snapshot writes the response-cache
+	// snapshot ("" disables the endpoint). The path is fixed at construction
+	// — clients trigger snapshots but never choose filesystem locations.
+	SnapshotPath string
 	// Engine, when non-nil, supplies a caller-owned engine and overrides
 	// Workers/CacheCapacity (used by tests and embedders that want to
 	// share the process-wide Default engine). A caller-owned engine keeps
@@ -93,13 +103,27 @@ type Server struct {
 	// started anchors /healthz's uptime report.
 	started time.Time
 
+	// draining flips once graceful shutdown begins: /readyz answers 503 and
+	// /healthz reports "draining" so routers stop sending new work while the
+	// listener is still open (see Config.DrainDelay).
+	draining atomic.Bool
+	// drainDelay is Config.DrainDelay.
+	drainDelay time.Duration
+
+	// snapshotPath is Config.SnapshotPath; the snapshot bookkeeping feeds
+	// the serve_snapshot_* series.
+	snapshotPath     string
+	lastSnapshotNano atomic.Int64
+	snapshotsWritten atomic.Uint64
+	restoredEntries  atomic.Int64
+
 	// obs is the serving tier's observability state: registry, span flight
 	// recorder, per-endpoint instrument handles, access log. Always set by
 	// New.
 	obs *serveObs
 
-	plan, fleetPlan, fleetSim, simulate, analyze, schedules, render, health, stats atomic.Uint64
-	shed, clientErrors, serverErrors                                               atomic.Uint64
+	plan, planBatch, fleetPlan, fleetSim, simulate, analyze, schedules, render, health, ready, stats, cacheSnapshot atomic.Uint64
+	shed, clientErrors, serverErrors                                                                                atomic.Uint64
 }
 
 // planOutcome is one cached plan: exactly one of body and err is set.
@@ -137,6 +161,8 @@ func New(cfg Config) *Server {
 		inflight:      make(chan struct{}, maxInflight),
 		maxInflight:   maxInflight,
 		drainTimeout:  drain,
+		drainDelay:    cfg.DrainDelay,
+		snapshotPath:  cfg.SnapshotPath,
 		planCache:     engine.NewMemoCap[perfmodel.PlanRequest, planOutcome](cfg.CacheCapacity),
 		fleetCache:    engine.NewMemoCap[string, planOutcome](cfg.CacheCapacity),
 		fleetSimCache: engine.NewMemoCap[string, planOutcome](cfg.CacheCapacity),
@@ -147,6 +173,9 @@ func New(cfg Config) *Server {
 	s.allocator.Observe(cfg.Registry)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.instrument("plan", s.admitted(s.handlePlan)))
+	mux.HandleFunc("POST /v1/plan:batch", s.instrument("plan_batch", s.admitted(s.handlePlanBatch)))
+	mux.HandleFunc("POST /v1/cache/snapshot", s.instrument("cache_snapshot", s.admitted(s.handleCacheSnapshot)))
+	mux.HandleFunc("GET /readyz", s.instrument("ready", s.handleReady))
 	mux.HandleFunc("POST /v1/fleet/plan", s.instrument("fleet_plan", s.admitted(s.handleFleetPlan)))
 	mux.HandleFunc("POST /v1/fleet/simulate", s.instrument("fleet_simulate", s.admitted(s.handleFleetSimulate)))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.admitted(s.handleSimulate)))
@@ -200,11 +229,32 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Flip readiness first, then keep the listener open for DrainDelay:
+		// a router polling /readyz (or any LB) sees "draining" and routes
+		// around this replica while it can still answer, instead of new
+		// requests racing the listener close.
+		s.BeginDrain()
+		if s.drainDelay > 0 {
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(s.drainDelay):
+			}
+		}
 		drainCtx, cancel := context.WithTimeout(context.Background(), s.drainTimeout)
 		defer cancel()
 		return hs.Shutdown(drainCtx)
 	}
 }
+
+// BeginDrain marks the server as draining: /readyz flips to 503 and
+// /healthz reports "draining". Serve calls it automatically when its context
+// is cancelled; exposed so embedders driving their own http.Server can wire
+// the same readiness contract.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // maxBodyBytes caps request bodies; every valid request is far smaller, and
 // without it one client could buffer gigabytes into a decode while holding
@@ -293,6 +343,107 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(out.body)
+}
+
+// handlePlanBatch answers /v1/plan:batch: N plan problems validated
+// together, charged one admission slot, and evaluated as a single engine
+// fan-out (perfmodel.PlanBatchOn concatenates every item's candidate grid
+// into one sweep over the worker pool, amortizing pool traversal and memo
+// lookups). Results are per-item and byte-identical to N sequential
+// /v1/plan calls: plan bodies come from the same codec path and land in the
+// same response cache, errors carry the same message a sequential call
+// would have returned.
+func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
+	s.planBatch.Add(1)
+	span := obs.SpanFrom(r.Context())
+	span.StartPhase("decode")
+	var req BatchPlanRequest
+	if err := DecodeStrict(r.Body, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	n := len(req.Requests)
+	if n == 0 {
+		s.badRequest(w, errString("plan batch: requests must be non-empty"))
+		return
+	}
+	if n > MaxBatchItems {
+		s.badRequest(w, fmt.Errorf("plan batch: %d requests exceed the limit %d", n, MaxBatchItems))
+		return
+	}
+	s.obs.batchItems.Observe(time.Duration(n) * time.Second)
+	span.StartPhase("resolve")
+	resolved := make([]perfmodel.PlanRequest, n)
+	resolveErr := make([]error, n)
+	for i, item := range req.Requests {
+		resolved[i], resolveErr[i] = item.Resolve()
+	}
+	span.StartPhase("cache")
+	outs := make([]planOutcome, n)
+	have := make([]bool, n)
+	// Distinct cache misses, deduplicated: repeated items plan once.
+	missIdx := make(map[perfmodel.PlanRequest]int)
+	var missReqs []perfmodel.PlanRequest
+	for i := range resolved {
+		if resolveErr[i] != nil {
+			continue
+		}
+		if out, ok := s.planCache.Cached(resolved[i]); ok {
+			outs[i], have[i] = out, true
+		} else if _, dup := missIdx[resolved[i]]; !dup {
+			missIdx[resolved[i]] = len(missReqs)
+			missReqs = append(missReqs, resolved[i])
+		}
+	}
+	computed := len(missReqs) > 0
+	if computed {
+		span.StartPhase("plan")
+		predsList, errsList := perfmodel.PlanBatchOn(s.eng, missReqs)
+		span.StartPhase("encode")
+		missOuts := make([]planOutcome, len(missReqs))
+		for j := range missReqs {
+			if errsList[j] != nil {
+				missOuts[j] = planOutcome{err: errsList[j]}
+				continue
+			}
+			raw, err := json.Marshal(NewPlanResponse(missReqs[j].Model.Name, missReqs[j].P, missReqs[j].MiniBatch, predsList[j]))
+			if err != nil {
+				missOuts[j] = planOutcome{err: err}
+				continue
+			}
+			missOuts[j] = planOutcome{body: raw}
+		}
+		// Publish through the cache's single-flight front door: a
+		// computation already in flight for the same key wins and its value
+		// is what this batch serves, exactly as a sequential call would.
+		for i := range resolved {
+			if resolveErr[i] != nil || have[i] {
+				continue
+			}
+			j, ok := missIdx[resolved[i]]
+			if !ok {
+				continue
+			}
+			outs[i] = s.planCache.Do(resolved[i], func() planOutcome { return missOuts[j] })
+			have[i] = true
+		}
+	}
+	span.EndPhase()
+	span.SetAttr("cache", cacheDisposition(computed))
+	resp := BatchPlanResponse{Items: n, Results: make([]BatchPlanItem, n)}
+	for i := range resp.Results {
+		switch {
+		case resolveErr[i] != nil:
+			s.clientErrors.Add(1)
+			resp.Results[i].Error = resolveErr[i].Error()
+		case outs[i].err != nil:
+			s.clientErrors.Add(1)
+			resp.Results[i].Error = outs[i].err.Error()
+		default:
+			resp.Results[i].Plan = json.RawMessage(outs[i].body)
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleFleetPlan(w http.ResponseWriter, r *http.Request) {
@@ -561,12 +712,51 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.health.Add(1)
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	s.writeJSON(w, http.StatusOK, HealthResponse{
-		Status:        "ok",
+		Status:        status,
 		Version:       BuildVersion(),
 		GoVersion:     runtime.Version(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	})
+}
+
+// handleReady is the readiness half of the health split: 200 while the
+// server accepts new work, 503 from the moment graceful shutdown begins.
+// Liveness (/healthz) keeps answering 200 throughout, so an orchestrator
+// can tell "busy draining" from "dead".
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.ready.Add(1)
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready"})
+}
+
+// handleCacheSnapshot writes the response caches to the path fixed at
+// construction (Config.SnapshotPath). The client triggers the snapshot but
+// never names the file — accepting paths over HTTP would let any client
+// write anywhere the daemon can.
+func (s *Server) handleCacheSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.cacheSnapshot.Add(1)
+	span := obs.SpanFrom(r.Context())
+	if s.snapshotPath == "" {
+		s.unprocessable(w, errString("cache snapshot: no snapshot path configured (start chimera-serve with -snapshot)"))
+		return
+	}
+	span.StartPhase("snapshot")
+	st, err := s.WriteSnapshot(s.snapshotPath)
+	span.EndPhase()
+	if err != nil {
+		s.serverErrors.Add(1)
+		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, SnapshotResponse{Path: s.snapshotPath, Entries: st.Entries, Bytes: st.Bytes})
 }
 
 // BuildVersion reports the binary's build identity for /healthz and the
@@ -607,10 +797,12 @@ func BuildVersion() string {
 func (s *Server) Snapshot() StatsResponse {
 	resp := StatsResponse{
 		Requests: RequestCounts{
-			Plan: s.plan.Load(), FleetPlan: s.fleetPlan.Load(), FleetSimulate: s.fleetSim.Load(),
+			Plan: s.plan.Load(), PlanBatch: s.planBatch.Load(),
+			FleetPlan: s.fleetPlan.Load(), FleetSimulate: s.fleetSim.Load(),
 			Simulate: s.simulate.Load(),
 			Analyze:  s.analyze.Load(), Schedules: s.schedules.Load(),
-			Render: s.render.Load(), Health: s.health.Load(), Stats: s.stats.Load(),
+			Render: s.render.Load(), Health: s.health.Load(), Ready: s.ready.Load(),
+			Stats: s.stats.Load(), CacheSnapshot: s.cacheSnapshot.Load(),
 		},
 		Shed:          s.shed.Load(),
 		ClientErrors:  s.clientErrors.Load(),

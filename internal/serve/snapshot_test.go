@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotRoundTrip: write a warm server's caches, restore into a
+// fresh server, and require the restored replica's first /v1/plan to be a
+// byte-identical cache hit (zero misses — warm from request one).
+func TestSnapshotRoundTrip(t *testing.T) {
+	src, srcTS := newTestServer(t, Config{})
+	_, wantPlan := post(t, srcTS, "/v1/plan", planBody)
+	status, wantFleet := post(t, srcTS, "/v1/fleet/plan", fleetBody)
+	if status != http.StatusOK {
+		t.Fatalf("fleet plan: %d %s", status, wantFleet)
+	}
+
+	path := filepath.Join(t.TempDir(), "caches.snap")
+	stats, err := src.WriteSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 2 {
+		t.Fatalf("snapshot persisted %d entries, want 2 (plan + fleet)", stats.Entries)
+	}
+	if stats.Bytes <= 0 {
+		t.Fatalf("snapshot reported %d bytes", stats.Bytes)
+	}
+
+	dst, dstTS := newTestServer(t, Config{})
+	n, err := dst.RestoreSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || dst.RestoredEntries() != 2 {
+		t.Fatalf("restored %d entries (gauge %d), want 2", n, dst.RestoredEntries())
+	}
+	if age := dst.SnapshotAgeSeconds(); age <= 0 || age > 60 {
+		t.Fatalf("restored snapshot age %.3fs, want the source's creation time", age)
+	}
+
+	status, gotPlan := post(t, dstTS, "/v1/plan", planBody)
+	if status != http.StatusOK || !bytes.Equal(gotPlan, wantPlan) {
+		t.Fatalf("restored /v1/plan (status %d) diverges from source:\ngot:  %.120s\nwant: %.120s", status, gotPlan, wantPlan)
+	}
+	status, gotFleet := post(t, dstTS, "/v1/fleet/plan", fleetBody)
+	if status != http.StatusOK || !bytes.Equal(gotFleet, wantFleet) {
+		t.Fatalf("restored /v1/fleet/plan (status %d) diverges from source", status)
+	}
+	if pc := dst.Snapshot().PlanCache; pc.Hits != 1 || pc.Misses != 0 {
+		t.Fatalf("restored replica's first /v1/plan: hits=%d misses=%d, want a warm hit with no compute", pc.Hits, pc.Misses)
+	}
+	if fc := dst.Snapshot().FleetCache; fc.Hits != 1 || fc.Misses != 0 {
+		t.Fatalf("restored replica's first fleet plan: hits=%d misses=%d, want warm", fc.Hits, fc.Misses)
+	}
+}
+
+// TestSnapshotSkipsCachedErrors: failed outcomes are not persisted —
+// transient errors must not be pinned across restarts.
+func TestSnapshotSkipsCachedErrors(t *testing.T) {
+	src, srcTS := newTestServer(t, Config{})
+	// P=7 has no even-D split for bert48: cached as an error outcome.
+	if status, _ := post(t, srcTS, "/v1/plan", `{"model":{"preset":"bert48"},"p":7,"mini_batch":512,"platform":{"preset":"pizdaint"}}`); status == http.StatusOK {
+		t.Fatal("expected the infeasible plan to fail")
+	}
+	path := filepath.Join(t.TempDir(), "caches.snap")
+	stats, err := src.WriteSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 0 {
+		t.Fatalf("snapshot persisted %d entries, want 0 (error outcomes skipped)", stats.Entries)
+	}
+}
+
+// TestSnapshotRefusesDamage: every container-validation failure — bad
+// magic, unsupported version, truncation at several depths, a flipped
+// payload bit — must refuse the file without inserting anything.
+func TestSnapshotRefusesDamage(t *testing.T) {
+	src, srcTS := newTestServer(t, Config{})
+	if status, body := post(t, srcTS, "/v1/plan", planBody); status != http.StatusOK {
+		t.Fatalf("plan: %d %s", status, body)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "caches.snap")
+	if _, err := src.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "truncated header"},
+		{"short-header", func(b []byte) []byte { return b[:10] }, "truncated header"},
+		{"bad-magic", func(b []byte) []byte {
+			c := bytes.Clone(b)
+			copy(c, "NOTASNAP")
+			return c
+		}, "bad magic"},
+		{"future-version", func(b []byte) []byte {
+			c := bytes.Clone(b)
+			binary.BigEndian.PutUint32(c[8:], snapshotVersion+1)
+			return c
+		}, "unsupported version"},
+		{"truncated-payload", func(b []byte) []byte { return b[:len(b)-8] }, "truncated payload"},
+		{"flipped-bit", func(b []byte) []byte {
+			c := bytes.Clone(b)
+			c[len(snapshotMagic)+4+8+3] ^= 0x01
+			return c
+		}, "checksum mismatch"},
+	}
+	for _, tc := range damage {
+		bad := filepath.Join(dir, tc.name+".snap")
+		if err := os.WriteFile(bad, tc.mutate(bytes.Clone(good)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dst, _ := newTestServer(t, Config{})
+		n, err := dst.RestoreSnapshot(bad)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: RestoreSnapshot err %v, want %q", tc.name, err, tc.wantErr)
+		}
+		if n != 0 || dst.Snapshot().PlanCache.Entries != 0 {
+			t.Fatalf("%s: refusal inserted %d entries (cache has %d), want untouched caches",
+				tc.name, n, dst.Snapshot().PlanCache.Entries)
+		}
+	}
+}
+
+// TestSnapshotEndpoint: POST /v1/cache/snapshot writes the configured path
+// and reports what it persisted; an unconfigured server refuses with 422.
+func TestSnapshotEndpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "caches.snap")
+	_, ts := newTestServer(t, Config{SnapshotPath: path})
+	if status, body := post(t, ts, "/v1/plan", planBody); status != http.StatusOK {
+		t.Fatalf("plan: %d %s", status, body)
+	}
+	status, body := post(t, ts, "/v1/cache/snapshot", "")
+	if status != http.StatusOK {
+		t.Fatalf("snapshot endpoint: %d %s", status, body)
+	}
+	if !strings.Contains(string(body), `"entries":1`) {
+		t.Fatalf("snapshot response %s, want entries:1", body)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot endpoint did not write %s: %v", path, err)
+	}
+
+	_, bare := newTestServer(t, Config{})
+	if status, body := post(t, bare, "/v1/cache/snapshot", ""); status != http.StatusUnprocessableEntity {
+		t.Fatalf("unconfigured snapshot endpoint: %d %s, want 422", status, body)
+	}
+}
