@@ -25,23 +25,39 @@
 // codecs), so a served fleet plan or simulation is byte-identical to this
 // tool's output for the same scenario.
 //
+// -controller switches from batch replay to the live fleet control plane:
+// the scenario (which must carry no trace or events — the controller
+// ingests churn over HTTP) seeds a long-running daemon on -addr serving
+// POST /v1/fleet/events and /v1/fleet/whatif, GET /v1/fleet/allocation,
+// /v1/fleet/events/log, /v1/fleet/stream (SSE), /healthz, /readyz and
+// /metrics. Replaying the recorded event log through -simulate reproduces
+// the controller's final allocation bit-identically. SIGINT/SIGTERM shut
+// the daemon down gracefully.
+//
 // Example:
 //
 //	chimera-fleet -scenario examples/fleet/scenario.json
 //	chimera-fleet -scenario examples/fleet/scenario.json -policy equal-split
 //	chimera-fleet -scenario examples/fleet/elastic.json -simulate -json
 //	chimera-fleet -scenario examples/fleet/elastic.json -simulate -replan full -penalty 30
+//	chimera-fleet -scenario examples/fleet/scenario.json -controller -addr 127.0.0.1:8643
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"chimera/internal/controller"
 	"chimera/internal/engine"
 	"chimera/internal/fleet"
 	"chimera/internal/serve"
@@ -66,6 +82,10 @@ func run(args []string, stdout io.Writer) error {
 	simulate := fs.Bool("simulate", false, "replay the scenario's trace instead of planning the static job list")
 	jsonOut := fs.Bool("json", false, "emit the /v1/fleet wire formats instead of the table")
 	workers := fs.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS, 1 = serial)")
+	controllerMode := fs.Bool("controller", false, "run the live fleet controller daemon instead of a one-shot plan or replay")
+	addr := fs.String("addr", "127.0.0.1:8643", "controller listen address (with -controller)")
+	capacity := fs.Int("cache-capacity", 4096, "per-table engine cache bound with LRU eviction (0 = unbounded; with -controller)")
+	maxInflight := fs.Int("max-inflight", 0, "controller admission limit on concurrent mutating requests (0 = 4×GOMAXPROCS; with -controller)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h printed usage; that is success, not an error
@@ -97,6 +117,10 @@ func run(args []string, stdout io.Writer) error {
 		sc.MigrationPenalty = *penalty
 	}
 
+	if *controllerMode {
+		return runController(sc, *addr, *workers, *capacity, *maxInflight)
+	}
+
 	eng := engine.Default()
 	if *workers > 0 {
 		eng = engine.New(engine.Workers(*workers))
@@ -122,6 +146,32 @@ func run(args []string, stdout io.Writer) error {
 		return emit(stdout, serve.NewFleetPlanResponse(al))
 	}
 	fmt.Fprint(stdout, al)
+	return nil
+}
+
+// runController is -controller mode: the scenario seeds a live control
+// plane that ingests churn over HTTP and re-plans incrementally per batch.
+// It blocks until SIGINT/SIGTERM, then drains and exits.
+func runController(sc serve.FleetScenario, addr string, workers, capacity, maxInflight int) error {
+	c, err := controller.New(controller.Config{
+		Scenario:      sc,
+		Workers:       workers,
+		CacheCapacity: capacity,
+		MaxInflight:   maxInflight,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("chimera-fleet: controller listening on %s (%d nodes, %d jobs, max inflight=%d)",
+		addr, sc.Cluster.Nodes, len(sc.Jobs), c.MaxInflight())
+	if err := c.ListenAndServe(ctx, addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("chimera-fleet: controller stopped")
 	return nil
 }
 

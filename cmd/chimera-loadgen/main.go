@@ -35,6 +35,18 @@
 // N, and replays the zipfian schedule through the router for p99 under
 // hot-set skew. -min-router-scaling gates the aggregate/single ratio.
 //
+// -controller-storm N switches to the fleet-controller storm driver: a
+// seeded churn storm of N events (arrivals, node failures with correlated
+// rack cascades, drains, spot and on-demand joins) is generated against
+// -controller-scenario's cluster and posted slot by slot to a fleet
+// controller (-controller-addr, or one started in-process), recording
+// every batch's server-reported re-plan latency. Afterwards the recorded
+// event log is fetched and replayed through the batch simulator in-process;
+// the replay must reproduce the controller's processed-event log and final
+// allocation byte for byte, and -max-replan-ms gates the slowest batch.
+// The result merges into -out as the "controller" section (the file's
+// other sections — e.g. chimera-bench's — are preserved).
+//
 // Any gate failure exits non-zero, so CI can call this binary directly.
 // Cold numbers are only meaningful against a freshly started server.
 //
@@ -43,6 +55,7 @@
 //	chimera-serve -addr 127.0.0.1:8642 -max-inflight 4 &
 //	chimera-loadgen -addr http://127.0.0.1:8642 -out BENCH_serve.json
 //	chimera-loadgen -router-bench 2 -out BENCH_serve_router.json
+//	chimera-loadgen -controller-storm 64 -controller-scenario examples/fleet/scenario.json -out BENCH_fleet.json
 package main
 
 import (
@@ -64,6 +77,9 @@ import (
 	"time"
 
 	"chimera"
+	"chimera/internal/controller"
+	"chimera/internal/engine"
+	"chimera/internal/fleet"
 	"chimera/internal/obs"
 	"chimera/internal/router"
 	"chimera/internal/serve"
@@ -217,10 +233,32 @@ func main() {
 	routerReplicas := flag.Int("router-bench", 0, "run the self-contained router scaling bench with this many in-process replicas instead of the server phases")
 	routerRequests := flag.Int("router-requests", 200, "cold plan requests per scaling step in -router-bench")
 	minRouterScaling := flag.Float64("min-router-scaling", 0, "gate: -router-bench aggregate rps must be at least this multiple of single-replica rps (0 disables)")
+	ctrlStorm := flag.Int("controller-storm", 0, "run the fleet-controller storm driver with this many churn events instead of the server phases")
+	ctrlScenario := flag.String("controller-scenario", "", "fleet scenario JSON seeding the controller storm (required with -controller-storm)")
+	ctrlAddr := flag.String("controller-addr", "", "base URL of a running chimera-fleet -controller (empty = start one in-process)")
+	maxReplanMs := flag.Float64("max-replan-ms", 0, "gate: the slowest controller batch apply must stay under this many ms (0 disables)")
 	flag.Parse()
 
 	if *zipfKeys > 0 && *zipfS <= 1 {
 		fatal(fmt.Errorf("-zipf-s must be > 1 (got %g)", *zipfS))
+	}
+
+	if *ctrlStorm > 0 {
+		cb, failures := runControllerStorm(*ctrlScenario, *ctrlAddr, *seed, *ctrlStorm, *maxReplanMs, *wait)
+		if err := mergeSection(*out, "controller", cb); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("controller storm: %d events in %d batches (%d arrivals, %d fails, %d drains, %d joins) on %d→%d nodes, replan p50 %.1f ms, p99 %.1f ms, max %.1f ms, replay identical: %v\n",
+			cb.Events, cb.Batches, cb.Arrivals, cb.Fails, cb.Drains, cb.Joins,
+			cb.Nodes, cb.FinalNodes, cb.ReplanP50Ms, cb.ReplanP99Ms, cb.ReplanMaxMs, cb.ReplayIdentical)
+		fmt.Printf("wrote %s\n", *out)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "chimera-loadgen: GATE FAILED:", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	var b *BenchServe
@@ -1056,6 +1094,214 @@ func runRouterBench(seed int64, replicas, stepRequests, zipfKeys int, zipfS floa
 	}
 	b.Router = rb
 	return b, failures
+}
+
+// ControllerBench is the "controller" section merged into BENCH_fleet.json:
+// the live control plane driven through a seeded churn storm, with the
+// bit-determinism replay check and per-batch re-plan latency quantiles.
+type ControllerBench struct {
+	Addr string `json:"addr"`
+	Seed int64  `json:"seed"`
+	// Nodes is the initial pool; FinalNodes the pool after the storm.
+	Nodes      int `json:"nodes"`
+	FinalNodes int `json:"final_nodes"`
+	Jobs       int `json:"jobs"`
+	// Events landed in Batches ingest calls (one per storm slot; a rack
+	// cascade makes a slot a multi-event batch).
+	Events    int `json:"events"`
+	Batches   int `json:"batches"`
+	Arrivals  int `json:"arrivals"`
+	Fails     int `json:"fails"`
+	Drains    int `json:"drains"`
+	Joins     int `json:"joins"`
+	SpotJoins int `json:"spot_joins"`
+	// Cost is the storm's accumulated node-seconds priced per class (from
+	// the replay, which bit-matches the live controller).
+	Cost      float64 `json:"cost"`
+	Residents int     `json:"residents"`
+	// Replan quantiles are the server-reported wall time to apply each
+	// batch (validation, every re-plan it triggered, log append).
+	ReplanP50Ms float64 `json:"replan_p50_ms"`
+	ReplanP99Ms float64 `json:"replan_p99_ms"`
+	ReplanMaxMs float64 `json:"replan_max_ms"`
+	// ReplayIdentical asserts the fetched event log, replayed through the
+	// batch simulator in-process, reproduced the controller's processed-event
+	// log and final allocation byte for byte. Gated unconditionally.
+	ReplayIdentical bool `json:"replay_identical"`
+}
+
+// runControllerStorm drives -controller-storm mode (see the package
+// comment). It returns the section and any gate failures.
+func runControllerStorm(scenarioPath, addr string, seed int64, events int, maxReplanMs float64, wait time.Duration) (*ControllerBench, []string) {
+	var failures []string
+	fail := func(format string, args ...any) { failures = append(failures, fmt.Sprintf(format, args...)) }
+
+	if scenarioPath == "" {
+		fatal(fmt.Errorf("-controller-storm requires -controller-scenario"))
+	}
+	f, err := os.Open(scenarioPath)
+	if err != nil {
+		fatal(err)
+	}
+	var sc serve.FleetScenario
+	err = serve.DecodeStrict(f, &sc)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", scenarioPath, err))
+	}
+	names := make([]string, 0, len(sc.Jobs))
+	for _, j := range sc.Jobs {
+		names = append(names, j.Name)
+	}
+
+	// No target address: run the controller in-process on a loopback
+	// listener, exactly as `chimera-fleet -controller` would serve it.
+	if addr == "" {
+		c, err := controller.New(controller.Config{Scenario: sc})
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go c.Serve(ctx, ln)
+		addr = "http://" + ln.Addr().String()
+	}
+	if err := waitHealthy(addr, wait); err != nil {
+		fatal(err)
+	}
+
+	storm, err := fleet.GenerateStorm(fleet.StormConfig{
+		Seed: seed, Jobs: names, Nodes: sc.Cluster.Nodes, Events: events,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	batches := fleet.StormBatches(storm)
+
+	cb := &ControllerBench{Addr: addr, Seed: seed, Nodes: sc.Cluster.Nodes, Jobs: len(sc.Jobs), Events: len(storm), Batches: len(batches)}
+	for _, ev := range storm {
+		switch ev.Kind {
+		case fleet.EvNodeFail:
+			cb.Fails++
+		case fleet.EvNodeDrain:
+			cb.Drains++
+		case fleet.EvNodeJoin:
+			cb.Joins++
+		default:
+			cb.Arrivals++
+		}
+	}
+
+	// Feed the storm one slot per ingest call, recording the controller's
+	// own measure of each batch's apply time.
+	var replanMs []float64
+	for i, batch := range batches {
+		status, body, err := postJSON(addr+"/v1/fleet/events", controller.EventsRequest{Events: serve.NewFleetEventRefs(batch)})
+		if err != nil {
+			fatal(fmt.Errorf("batch %d: %w", i, err))
+		}
+		if status != http.StatusOK {
+			fatal(fmt.Errorf("batch %d (t=%.0f, %d events): status %d: %s", i, batch[0].At, len(batch), status, body))
+		}
+		var resp controller.EventsResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			fatal(err)
+		}
+		replanMs = append(replanMs, resp.ReplanMillis)
+	}
+	sorted := append([]float64(nil), replanMs...)
+	sort.Float64s(sorted)
+	q := func(p float64) float64 {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[min(i, len(sorted)-1)]
+	}
+	cb.ReplanP50Ms, cb.ReplanP99Ms, cb.ReplanMaxMs = q(0.50), q(0.99), sorted[len(sorted)-1]
+	if maxReplanMs > 0 && cb.ReplanMaxMs > maxReplanMs {
+		fail("slowest batch re-plan %.1f ms exceeds budget %.1f ms", cb.ReplanMaxMs, maxReplanMs)
+	}
+
+	// Determinism anchor: fetch the recorded log, replay it through the
+	// batch simulator on a serial engine, and demand byte identity — the
+	// live log must be a prefix of the replay's, and the live allocation
+	// must equal the replay's final shares, through the same codec.
+	var logResp controller.LogResponse
+	if err := getJSON(addr+"/v1/fleet/events/log", &logResp); err != nil {
+		fatal(err)
+	}
+	var alloc controller.AllocationResponse
+	if err := getJSON(addr+"/v1/fleet/allocation", &alloc); err != nil {
+		fatal(err)
+	}
+	cb.FinalNodes, cb.Residents = alloc.Nodes, alloc.Residents
+
+	replayEvents, err := serve.ResolveFleetEvents(logResp.Events)
+	if err != nil {
+		fatal(err)
+	}
+	esc, err := sc.ResolveLive()
+	if err != nil {
+		fatal(err)
+	}
+	esc.Events = replayEvents
+	res, err := fleet.SimulateElasticOn(engine.New(engine.Workers(1)), esc)
+	if err != nil {
+		fatal(fmt.Errorf("replaying the controller's event log: %w", err))
+	}
+	cb.SpotJoins, cb.Cost = res.SpotJoins, res.Cost
+
+	replayRecords := serve.NewFleetEventRecords(res.Log)
+	cb.ReplayIdentical = len(replayRecords) >= len(logResp.Log)
+	if cb.ReplayIdentical {
+		liveLog, err1 := json.Marshal(logResp.Log)
+		replayLog, err2 := json.Marshal(replayRecords[:len(logResp.Log)])
+		liveAlloc, err3 := json.Marshal(alloc.Allocation)
+		replayAlloc, err4 := json.Marshal(serve.NewFleetFinalShares(res.Final))
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			fatal(fmt.Errorf("encoding replay comparison"))
+		}
+		cb.ReplayIdentical = bytes.Equal(liveLog, replayLog) && bytes.Equal(liveAlloc, replayAlloc)
+	}
+	if !cb.ReplayIdentical {
+		fail("replaying the recorded event log did not reproduce the controller's state byte for byte")
+	}
+	return cb, failures
+}
+
+// mergeSection writes v under key into the JSON object at path, preserving
+// any other top-level sections already there (chimera-bench owns the rest
+// of BENCH_fleet.json). A missing or non-object file starts fresh.
+func mergeSection(path, key string, v any) error {
+	doc := map[string]json.RawMessage{}
+	if path != "-" {
+		if old, err := os.ReadFile(path); err == nil {
+			var existing map[string]json.RawMessage
+			if json.Unmarshal(old, &existing) == nil && existing != nil {
+				doc = existing
+			}
+		}
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	doc[key] = raw
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		os.Stdout.Write(out)
+		return nil
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 func summarize(ds []time.Duration) LatencySide {

@@ -194,15 +194,26 @@ func (m *Memo[K, V]) Range(fn func(key K, value V) bool) {
 	}
 }
 
-// Put inserts a completed entry, as if Do had computed value for key. An
-// existing entry (completed or in flight) wins: Put never overwrites, so a
-// snapshot restored into a live table cannot clobber fresher computations.
-// Respects the capacity bound (inserting may evict the least-recently used
-// entry) and counts neither a hit nor a miss. This is the import half of
-// the serve tier's cache snapshot.
-func (m *Memo[K, V]) Put(key K, value V) {
+// Put inserts a completed entry, as if Do had computed value for key, and
+// reports whether it inserted: false means an existing entry (completed or
+// in flight) won — Put never overwrites, so a snapshot restored into a live
+// table cannot clobber fresher computations. Respects the capacity bound
+// (inserting may evict the least-recently used entry) and counts neither a
+// hit nor a miss. This is the import half of the serve tier's cache
+// snapshot.
+//
+// Restoring a snapshot larger than the capacity therefore *truncates*, and
+// does so correctly: entries arrive in Range order (least recently used
+// first), each insert lands at the LRU front, and eviction always claims
+// the back — an earlier-restored (older) entry, never the entry just
+// inserted (with capacity ≥ 1 an insert is never its own victim). The
+// surviving entries are exactly the source's most-recently-used `capacity`
+// entries with their relative recency preserved, which is the documented
+// "Range order reproduces LRU recency" invariant applied to the smaller
+// table. Put returns true for an insert even if a later insert evicts it.
+func (m *Memo[K, V]) Put(key K, value V) bool {
 	if m == nil {
-		return
+		return false
 	}
 	e := &memoEntry[V]{v: value}
 	e.once.Do(func() {}) // burn the once so a later Do never recomputes
@@ -210,7 +221,7 @@ func (m *Memo[K, V]) Put(key K, value V) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.entries[key]; ok {
-		return
+		return false
 	}
 	m.entries[key] = e
 	if m.capacity > 0 {
@@ -224,6 +235,7 @@ func (m *Memo[K, V]) Put(key K, value V) {
 			m.evictions.Add(1)
 		}
 	}
+	return true
 }
 
 // Len returns the number of distinct keys computed or in flight.

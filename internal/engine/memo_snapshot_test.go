@@ -153,6 +153,70 @@ func TestMemoRangePutRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMemoPutReportsInsert: Put returns true only when it actually
+// inserted — the signal RestoreSnapshot counts, so a warm restore does not
+// report duplicates as restored entries.
+func TestMemoPutReportsInsert(t *testing.T) {
+	m := NewMemoCap[string, int](4)
+	if !m.Put("a", 1) {
+		t.Fatal("first Put reported no insert")
+	}
+	if m.Put("a", 2) {
+		t.Fatal("duplicate Put reported an insert")
+	}
+	m.Do("b", func() int { return 2 })
+	if m.Put("b", 3) {
+		t.Fatal("Put over a computed entry reported an insert")
+	}
+	var nilMemo *Memo[string, int]
+	if nilMemo.Put("k", 1) {
+		t.Fatal("nil Put reported an insert")
+	}
+}
+
+// TestMemoRestoreIntoSmallerCapacity: restoring a snapshot into a table
+// with a smaller capacity than the snapshot's entry count must truncate to
+// the *newest* entries with their relative recency preserved — each insert
+// lands at the LRU front and eviction claims the back, so restore can never
+// evict the entry it just inserted, only older ones. This is the documented
+// "Range order reproduces LRU recency" invariant under truncation.
+func TestMemoRestoreIntoSmallerCapacity(t *testing.T) {
+	src := NewMemoCap[string, int](5)
+	for _, k := range []string{"a", "b", "c", "d", "e"} { // recency: a oldest … e newest
+		k := k
+		src.Do(k, func() int { return int(k[0]) })
+	}
+
+	dst := NewMemoCap[string, int](2)
+	inserted := 0
+	src.Range(func(k string, v int) bool {
+		if dst.Put(k, v) {
+			inserted++
+		}
+		return true
+	})
+	// Every Put inserted (no duplicates), even though only 2 survive.
+	if inserted != 5 {
+		t.Fatalf("inserted=%d, want 5", inserted)
+	}
+	if dst.Len() != 2 {
+		t.Fatalf("Len=%d, want the capacity 2", dst.Len())
+	}
+	if dst.Evictions() != 3 {
+		t.Fatalf("Evictions=%d, want 3", dst.Evictions())
+	}
+	// Survivors are the source's two most-recent entries, oldest-first in
+	// Range order — the source's recency, truncated.
+	var order []string
+	dst.Range(func(k string, _ int) bool { order = append(order, k); return true })
+	if want := []string{"d", "e"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("restored order %v, want %v (newest survive, recency preserved)", order, want)
+	}
+	if v, ok := dst.Cached("e"); !ok || v != int('e') {
+		t.Fatalf("newest entry lost: got %d (ok=%v)", v, ok)
+	}
+}
+
 // TestMemoNilRangePut: the nil table stays a safe no-op.
 func TestMemoNilRangePut(t *testing.T) {
 	var m *Memo[string, int]

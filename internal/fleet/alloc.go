@@ -11,10 +11,14 @@ import (
 	"chimera/internal/sim"
 )
 
-// node is one cluster node with its straggler factor.
+// node is one cluster node with its straggler factor and, for elastic
+// joins, its procurement class and price rate (initial cluster nodes are
+// on-demand and free).
 type node struct {
 	ID     int
 	Factor float64
+	Class  string
+	Price  float64
 }
 
 // JobAllocation is one job's share of the cluster and the plan chosen for

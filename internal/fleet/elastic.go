@@ -103,9 +103,19 @@ const MaxResident = MaxJobs
 // aging.
 const DefaultAgingTau = 600.0
 
+// Node procurement classes for node_join events. Spot capacity is cheap but
+// preemptible; on-demand capacity is stable. At equal speed the pool orders
+// cheaper nodes first, so preemptible capacity is put to work while the
+// stable paid nodes stay free longest — losing a spot node then strands the
+// least state.
+const (
+	ClassOnDemand = "on-demand"
+	ClassSpot     = "spot"
+)
+
 // Event is one entry of an elastic trace. Exactly the fields of its kind
 // may be set: arrivals carry Job and Work, node_fail/node_drain carry Node,
-// node_join may carry Factor.
+// node_join may carry Factor, Class and Price.
 type Event struct {
 	// At is the event time in seconds (≥ 0).
 	At float64
@@ -119,6 +129,14 @@ type Event struct {
 	Node int
 	// Factor is the joining node's speed factor (0 = nominal 1.0).
 	Factor float64
+	// Class is the joining node's procurement class: ClassOnDemand (the ""
+	// default) or ClassSpot. The omitempty tag keeps the encoding of legacy
+	// traces — and therefore every cache key derived from one — unchanged.
+	Class string `json:",omitempty"`
+	// Price is the joining node's cost rate (price units per second, ≥ 0);
+	// the simulator integrates Σ price over the present pool into the
+	// result's Cost. Initial cluster nodes are free (price 0).
+	Price float64 `json:",omitempty"`
 }
 
 // kind returns the event's effective kind.
@@ -170,6 +188,44 @@ func (sc ElasticScenario) agingTau() float64 {
 // calls it, and surface layers call it too so errors name the field before
 // any planning work starts.
 func (sc ElasticScenario) Validate() error {
+	if err := sc.validateConfig(); err != nil {
+		return err
+	}
+	if len(sc.Events) == 0 {
+		return fmt.Errorf("fleet: elastic scenario has an empty event trace")
+	}
+	if len(sc.Events) > MaxEvents {
+		return fmt.Errorf("fleet: %d events exceed the limit %d", len(sc.Events), MaxEvents)
+	}
+	byName := make(map[string]bool, len(sc.Jobs))
+	for _, j := range sc.Jobs {
+		byName[j.Name] = true
+	}
+	arrivals, joins := 0, 0
+	for i, ev := range sc.Events {
+		if err := validateEvent(byName, i, ev); err != nil {
+			return err
+		}
+		switch ev.kind() {
+		case EvArrival:
+			arrivals++
+		case EvNodeJoin:
+			joins++
+		}
+	}
+	if arrivals == 0 {
+		return fmt.Errorf("fleet: elastic trace has no arrivals")
+	}
+	if total := sc.Cluster.Nodes + joins; total > MaxElasticNodes {
+		return fmt.Errorf("fleet: %d nodes after all joins exceed the limit %d", total, MaxElasticNodes)
+	}
+	return nil
+}
+
+// validateConfig checks the event-independent part of the scenario: cluster,
+// jobs, policy and the re-plan knobs. The live controller validates exactly
+// this at construction — its event stream arrives later, batch by batch.
+func (sc ElasticScenario) validateConfig() error {
 	if err := (Request{Cluster: sc.Cluster, Jobs: sc.Jobs, Policy: sc.Policy}).Validate(); err != nil {
 		return err
 	}
@@ -184,58 +240,54 @@ func (sc ElasticScenario) Validate() error {
 	if sc.AgingTau < 0 || math.IsNaN(sc.AgingTau) || math.IsInf(sc.AgingTau, 0) {
 		return fmt.Errorf("fleet: aging tau must be finite and ≥ 0, got %g", sc.AgingTau)
 	}
-	if len(sc.Events) == 0 {
-		return fmt.Errorf("fleet: elastic scenario has an empty event trace")
+	return nil
+}
+
+// validateEvent checks one event's shape against the job vocabulary. Shared
+// by the trace validator and the controller's live ingestion path, so both
+// reject a malformed event with the same message (i names the event in its
+// container: trace index for traces, batch position for live batches).
+func validateEvent(byName map[string]bool, i int, ev Event) error {
+	if ev.At < 0 || math.IsNaN(ev.At) || math.IsInf(ev.At, 0) {
+		return fmt.Errorf("fleet: events[%d] time must be finite and ≥ 0, got %g", i, ev.At)
 	}
-	if len(sc.Events) > MaxEvents {
-		return fmt.Errorf("fleet: %d events exceed the limit %d", len(sc.Events), MaxEvents)
-	}
-	byName := make(map[string]bool, len(sc.Jobs))
-	for _, j := range sc.Jobs {
-		byName[j.Name] = true
-	}
-	arrivals, joins := 0, 0
-	for i, ev := range sc.Events {
-		if ev.At < 0 || math.IsNaN(ev.At) || math.IsInf(ev.At, 0) {
-			return fmt.Errorf("fleet: events[%d] time must be finite and ≥ 0, got %g", i, ev.At)
+	switch ev.kind() {
+	case EvArrival:
+		if !byName[ev.Job] {
+			return fmt.Errorf("fleet: events[%d] names unknown job %q", i, ev.Job)
 		}
-		switch ev.kind() {
-		case EvArrival:
-			if !byName[ev.Job] {
-				return fmt.Errorf("fleet: events[%d] names unknown job %q", i, ev.Job)
-			}
-			if !(ev.Work > 0) || math.IsInf(ev.Work, 0) {
-				return fmt.Errorf("fleet: events[%d] work must be positive and finite, got %g", i, ev.Work)
-			}
-			if ev.Node != 0 || ev.Factor != 0 {
-				return fmt.Errorf("fleet: events[%d] (arrival) must not set node or factor", i)
-			}
-			arrivals++
-		case EvNodeFail, EvNodeDrain:
-			if ev.Node < 0 {
-				return fmt.Errorf("fleet: events[%d] (%s) node must be ≥ 0, got %d", i, ev.kind(), ev.Node)
-			}
-			if ev.Job != "" || ev.Work != 0 || ev.Factor != 0 {
-				return fmt.Errorf("fleet: events[%d] (%s) must set only node", i, ev.kind())
-			}
-		case EvNodeJoin:
-			if ev.Factor != 0 && !(ev.Factor >= sim.MinSpeedFactor && ev.Factor <= sim.MaxSpeedFactor) {
-				return fmt.Errorf("fleet: events[%d] (node_join) factor %g out of range [%g, %g]",
-					i, ev.Factor, float64(sim.MinSpeedFactor), float64(sim.MaxSpeedFactor))
-			}
-			if ev.Job != "" || ev.Work != 0 || ev.Node != 0 {
-				return fmt.Errorf("fleet: events[%d] (node_join) may set only factor", i)
-			}
-			joins++
+		if !(ev.Work > 0) || math.IsInf(ev.Work, 0) {
+			return fmt.Errorf("fleet: events[%d] work must be positive and finite, got %g", i, ev.Work)
+		}
+		if ev.Node != 0 || ev.Factor != 0 || ev.Class != "" || ev.Price != 0 {
+			return fmt.Errorf("fleet: events[%d] (arrival) must not set node, factor, class or price", i)
+		}
+	case EvNodeFail, EvNodeDrain:
+		if ev.Node < 0 {
+			return fmt.Errorf("fleet: events[%d] (%s) node must be ≥ 0, got %d", i, ev.kind(), ev.Node)
+		}
+		if ev.Job != "" || ev.Work != 0 || ev.Factor != 0 || ev.Class != "" || ev.Price != 0 {
+			return fmt.Errorf("fleet: events[%d] (%s) must set only node", i, ev.kind())
+		}
+	case EvNodeJoin:
+		if ev.Factor != 0 && !(ev.Factor >= sim.MinSpeedFactor && ev.Factor <= sim.MaxSpeedFactor) {
+			return fmt.Errorf("fleet: events[%d] (node_join) factor %g out of range [%g, %g]",
+				i, ev.Factor, float64(sim.MinSpeedFactor), float64(sim.MaxSpeedFactor))
+		}
+		switch ev.Class {
+		case "", ClassOnDemand, ClassSpot:
 		default:
-			return fmt.Errorf("fleet: events[%d] has unknown kind %q", i, ev.Kind)
+			return fmt.Errorf("fleet: events[%d] (node_join) unknown class %q (have %s, %s)",
+				i, ev.Class, ClassOnDemand, ClassSpot)
 		}
-	}
-	if arrivals == 0 {
-		return fmt.Errorf("fleet: elastic trace has no arrivals")
-	}
-	if total := sc.Cluster.Nodes + joins; total > MaxElasticNodes {
-		return fmt.Errorf("fleet: %d nodes after all joins exceed the limit %d", total, MaxElasticNodes)
+		if ev.Price < 0 || math.IsNaN(ev.Price) || math.IsInf(ev.Price, 0) {
+			return fmt.Errorf("fleet: events[%d] (node_join) price must be finite and ≥ 0, got %g", i, ev.Price)
+		}
+		if ev.Job != "" || ev.Work != 0 || ev.Node != 0 {
+			return fmt.Errorf("fleet: events[%d] (node_join) may set only factor, class and price", i)
+		}
+	default:
+		return fmt.Errorf("fleet: events[%d] has unknown kind %q", i, ev.Kind)
 	}
 	return nil
 }
@@ -306,10 +358,17 @@ type ElasticResult struct {
 	Events        int
 	Reallocations int
 	JobsEvaluated int
-	// Churn counters.
-	Fails  int
-	Drains int
-	Joins  int
+	// Churn counters. SpotJoins counts the joins that carried the spot
+	// class (SpotJoins ≤ Joins).
+	Fails     int
+	Drains    int
+	Joins     int
+	SpotJoins int `json:",omitempty"`
+	// Cost is the integral of Σ price over the present pool up to the
+	// makespan (like Utilization's denominator, snapshotted at the last
+	// departure so trailing churn cannot inflate the bill). Zero unless the
+	// trace joins priced nodes — initial cluster capacity is free.
+	Cost float64 `json:",omitempty"`
 	// Migrations counts instance restarts (forced and voluntary);
 	// PenaltySeconds the total restart debt charged.
 	Migrations     int
@@ -397,13 +456,15 @@ func sameAllocation(oldIDs []int, oldPlan *perfmodel.Prediction, in *einstance) 
 // order) the allocator re-plans — incrementally or from scratch per the
 // scenario — and instances whose plan changed while running pay the
 // migration penalty as restart debt before progressing again.
+//
+// The loop itself lives in ElasticSim (step.go): this driver sorts the
+// trace into the total event order, feeds the stepper one same-time batch
+// at a time with departure catch-up between batches, and runs the residual
+// departures to completion. The controller drives the identical stepper
+// live, which is what makes recorded-log replay bit-exact.
 func (a *Allocator) SimulateElastic(sc ElasticScenario) (*ElasticResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
-	}
-	byName := make(map[string]Job, len(sc.Jobs))
-	for _, j := range sc.Jobs {
-		byName[j.Name] = j
 	}
 
 	// Total event order: time, then kind rank, then input index.
@@ -418,220 +479,44 @@ func (a *Allocator) SimulateElastic(sc ElasticScenario) (*ElasticResult, error) 
 		}
 		return kindRank(ex.kind()) < kindRank(ey.kind())
 	})
-
-	res := &ElasticResult{
-		Policy:       (Request{Policy: sc.Policy}).policy(),
-		Replan:       sc.replan(),
-		InitialNodes: sc.Cluster.Nodes,
-	}
-	// Equal-split has no warm-startable structure — every event re-splits
-	// the whole pool — so the result reports the effective mode instead of
-	// pretending the incremental path ran.
-	if res.Policy == EqualSplit {
-		res.Replan = ReplanFull
-	}
-	// Runs are indexed by event input index; only arrivals get one.
-	runs := make(map[int]*ElasticJobRun, len(sc.Events))
-	for i, ev := range sc.Events {
-		if ev.kind() == EvArrival {
-			runs[i] = &ElasticJobRun{Job: ev.Job, Trace: i, ArriveAt: ev.At, StartAt: -1, DoneAt: -1}
-		}
+	sorted := make([]indexedEvent, len(order))
+	for i, idx := range order {
+		sorted[i] = indexedEvent{ev: sc.Events[idx], idx: idx}
 	}
 
-	// The live pool, fastest-first; joins get sequential fresh ids.
-	present := sortedPool(sc.Cluster)
-	nextID := sc.Cluster.Nodes
-	tau := sc.agingTau()
-
-	var active []*einstance // arrival order — the re-planners' input order
-	var busySeconds, poolSeconds float64
-	// makespan and poolAtMakespan snapshot at each departure, so churn
-	// events scheduled after the last instance departs cannot inflate the
-	// reported makespan or dilute utilization.
-	var makespan, poolAtMakespan float64
-	now := 0.0
-	next := 0
-	finalTaken := false
-
-	for next < len(order) || len(active) > 0 {
-		// Earliest departure under current rates and debts.
-		departAt := math.Inf(1)
-		for _, in := range active {
-			if in.rate > 0 {
-				if at := now + in.debt + in.remaining/in.rate; at < departAt {
-					departAt = at
-				}
-			}
+	s := newElasticSim(a, sc)
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j].ev.At == sorted[i].ev.At {
+			j++
 		}
-		eventAt := math.Inf(1)
-		if next < len(order) {
-			eventAt = sc.Events[order[next]].At
+		if err := s.advanceDepartures(sorted[i].ev.At); err != nil {
+			return nil, err
 		}
-		if math.IsInf(departAt, 1) && math.IsInf(eventAt, 1) {
-			stuck := make([]string, len(active))
-			for i, in := range active {
-				stuck[i] = fmt.Sprintf("%s#%d", in.job.Name, in.trace)
-			}
-			return nil, fmt.Errorf("fleet: elastic trace stalls — no events left and no resident instance can run (%v)", stuck)
+		if err := s.stepBatch(sorted[i].ev.At, sorted[i:j]); err != nil {
+			return nil, err
 		}
-		// Identify every instance departing at the batch time before
-		// advancing (the same expression that produced departAt, so float
-		// equality is exact).
-		var departing []*einstance
-		if departAt <= eventAt {
-			for _, in := range active {
-				if in.rate > 0 && now+in.debt+in.remaining/in.rate == departAt {
-					departing = append(departing, in)
-				}
-			}
-		}
-		t := math.Min(departAt, eventAt)
-		if t < now {
-			t = now // float residue
-		}
-		dt := t - now
-		if dt > 0 {
-			poolSeconds += float64(len(present)) * dt
-			for _, in := range active {
-				if in.rate <= 0 {
-					continue
-				}
-				d := dt
-				if in.debt > 0 { // debt first: held nodes, no progress
-					pay := math.Min(in.debt, d)
-					in.debt -= pay
-					d -= pay
-				}
-				if d > 0 {
-					in.remaining -= d * in.rate
-					busySeconds += d * float64(len(in.share))
-				}
-			}
-		}
-		now = t
-
-		changed := false
-		// 1) Departures, in arrival (= trace) order.
-		for _, in := range departing {
-			in.remaining = 0 // absorb float residue
-			run := runs[in.trace]
-			run.DoneAt = now
-			if d := in.job.Deadline; d > 0 && now-run.ArriveAt > d {
-				run.MissedDeadline = true
-			}
-			for i, cur := range active {
-				if cur == in {
-					active = append(active[:i], active[i+1:]...)
-					break
-				}
-			}
-			res.Events++
-			res.Log = append(res.Log, EventRecord{At: now, Kind: EvDeparture, Job: in.job.Name, Trace: in.trace, Node: -1})
-			makespan, poolAtMakespan = now, poolSeconds
-			changed = true
-		}
-		// 2) Trace events due now, already in (time, kind, index) order.
-		for next < len(order) && sc.Events[order[next]].At <= now {
-			idx := order[next]
-			ev := sc.Events[idx]
-			next++
-			res.Events++
-			changed = true
-			switch ev.kind() {
-			case EvArrival:
-				if len(active) >= MaxResident {
-					return nil, fmt.Errorf("fleet: events[%d] would make %d instances resident, above the limit %d",
-						idx, len(active)+1, MaxResident)
-				}
-				active = append(active, &einstance{
-					trace: idx, job: byName[ev.Job], remaining: ev.Work,
-					needy: true, starvedSince: now,
-				})
-				res.Log = append(res.Log, EventRecord{At: now, Kind: EvArrival, Job: ev.Job, Trace: idx, Node: -1})
-			case EvNodeFail, EvNodeDrain:
-				pos := -1
-				for i, n := range present {
-					if n.ID == ev.Node {
-						pos = i
-						break
-					}
-				}
-				if pos < 0 {
-					return nil, fmt.Errorf("fleet: events[%d] %s targets absent node %d", idx, ev.kind(), ev.Node)
-				}
-				present = append(present[:pos], present[pos+1:]...)
-				for _, in := range active {
-					for i, n := range in.share {
-						if n.ID == ev.Node {
-							in.share = append(in.share[:i:i], in.share[i+1:]...)
-							in.needy = true
-							if ev.kind() == EvNodeFail {
-								in.failed = true
-							}
-							break
-						}
-					}
-					// A pipeline needs an even node count: a stranded odd
-					// node is dead weight, return it to the pool.
-					if len(in.share)%Quantum != 0 {
-						in.share = in.share[:len(in.share)-1]
-					}
-				}
-				if ev.kind() == EvNodeFail {
-					res.Fails++
-				} else {
-					res.Drains++
-				}
-				res.Log = append(res.Log, EventRecord{At: now, Kind: ev.kind(), Trace: idx, Node: ev.Node})
-			case EvNodeJoin:
-				f := ev.Factor
-				if f == 0 {
-					f = 1
-				}
-				joined := node{ID: nextID, Factor: f}
-				nextID++
-				present = insertSorted(present, joined)
-				res.Joins++
-				res.Log = append(res.Log, EventRecord{At: now, Kind: EvNodeJoin, Trace: idx, Node: joined.ID})
-			}
-		}
-		if changed {
-			if err := a.replanElastic(sc, res, runs, active, present, now, tau); err != nil {
-				return nil, err
-			}
-			// The batch that consumes the last trace event snapshots the
-			// final allocation right after its re-plan (next only advances
-			// inside batches, so the first batch seeing next == len is it).
-			if next >= len(order) && !finalTaken {
-				res.Final = finalShares(active)
-				finalTaken = true
-			}
-		}
+		i = j
 	}
-
-	res.Makespan = makespan
-	res.FinalNodes = len(present)
-	if poolAtMakespan > 0 {
-		res.Utilization = busySeconds / poolAtMakespan
+	// The final allocation is the one in effect right after the last trace
+	// event's re-plan.
+	s.res.Final = finalShares(s.active)
+	if err := s.runToCompletion(); err != nil {
+		return nil, err
 	}
-	var wait float64
-	for i := range sc.Events {
-		if run, ok := runs[i]; ok {
-			res.Jobs = append(res.Jobs, *run)
-			wait += run.Wait
-		}
-	}
-	if len(res.Jobs) > 0 {
-		res.MeanWait = wait / float64(len(res.Jobs))
-	}
-	return res, nil
+	s.finish(len(sc.Events))
+	return s.res, nil
 }
 
-// insertSorted places n into the fastest-first pool (factor, then id).
+// insertSorted places n into the fastest-first pool (factor, then price —
+// cheap capacity works first — then id).
 func insertSorted(pool []node, n node) []node {
 	pos := sort.Search(len(pool), func(i int) bool {
 		if pool[i].Factor != n.Factor {
 			return pool[i].Factor > n.Factor
+		}
+		if pool[i].Price != n.Price {
+			return pool[i].Price > n.Price
 		}
 		return pool[i].ID > n.ID
 	})

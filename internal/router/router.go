@@ -50,13 +50,50 @@ type replicaState struct {
 	// ready is flipped by the health loop (/readyz 200 → true; 503,
 	// transport error, or non-2xx → false) and pessimistically by the
 	// forwarding path on transport errors, so a crashed replica is routed
-	// around before the next poll.
+	// around before the next poll. Both writers sequence their marks
+	// through the observation epoch below.
 	ready     atomic.Bool
 	requests  *obs.Counter   // forwards answered by this replica
 	errors    *obs.Counter   // transport errors + 5xx from this replica
 	failovers *obs.Counter   // requests that failed over away from this replica
 	upGauge   *obs.Gauge     // 1 ready / 0 not
 	latency   *obs.Histogram // forward latency through this replica
+
+	// obsMu guards epoch, which sequences readiness observations: every
+	// observer captures the epoch before issuing I/O (beginObservation)
+	// and its result only lands if no other observation applied in the
+	// meantime (applyObservation). Without this, a forward whose transport
+	// error surfaces after a concurrent /readyz probe succeeded would
+	// overwrite that newer evidence and flap a healthy replica down — the
+	// error predates the probe's 200, so the 200 must win.
+	obsMu sync.Mutex
+	epoch uint64
+}
+
+// beginObservation records the start of a readiness observation (a health
+// probe or a forward attempt) and returns the epoch to pass to
+// applyObservation once the observation's I/O resolves.
+func (rs *replicaState) beginObservation() uint64 {
+	rs.obsMu.Lock()
+	defer rs.obsMu.Unlock()
+	return rs.epoch
+}
+
+// applyObservation applies a readiness observation begun at epoch e. It
+// reports whether the mark landed: if any other observation applied since e
+// was captured, this one is stale — its I/O began before the newer result
+// resolved — and is discarded. Discarding a fresh-but-raced result at worst
+// leaves a residually optimistic view that the next health sweep corrects;
+// applying a stale one would undo newer evidence.
+func (rs *replicaState) applyObservation(e uint64, up bool) bool {
+	rs.obsMu.Lock()
+	defer rs.obsMu.Unlock()
+	if e != rs.epoch {
+		return false
+	}
+	rs.epoch++
+	rs.setReady(up)
+	return true
 }
 
 func (rs *replicaState) setReady(up bool) {
@@ -191,21 +228,22 @@ func (rt *Router) CheckNow(ctx context.Context) {
 		wg.Add(1)
 		go func(rs *replicaState) {
 			defer wg.Done()
+			epoch := rs.beginObservation()
 			pctx, cancel := context.WithTimeout(ctx, rt.healthWait)
 			defer cancel()
 			req, err := http.NewRequestWithContext(pctx, http.MethodGet, rs.base+"/readyz", nil)
 			if err != nil {
-				rs.setReady(false)
+				rs.applyObservation(epoch, false)
 				return
 			}
 			resp, err := rt.client.Do(req)
 			if err != nil {
-				rs.setReady(false)
+				rs.applyObservation(epoch, false)
 				return
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			rs.setReady(resp.StatusCode == http.StatusOK)
+			rs.applyObservation(epoch, resp.StatusCode == http.StatusOK)
 		}(rs)
 	}
 	wg.Wait()
@@ -393,10 +431,14 @@ func (rt *Router) forward(r *http.Request, key, path string, body []byte) (*forw
 		if id := r.Header.Get("X-Request-Id"); id != "" {
 			req.Header.Set("X-Request-Id", id)
 		}
+		epoch := rs.beginObservation()
 		resp, err := rt.client.Do(req)
 		if err != nil {
 			rs.errors.Inc()
-			rs.setReady(false) // passive detection: route around before the next poll
+			// Passive detection: route around before the next poll — unless
+			// a health probe landed a newer verdict while this request was
+			// in flight, in which case the probe's evidence wins.
+			rs.applyObservation(epoch, false)
 			lastErr = err
 			continue
 		}

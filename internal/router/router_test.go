@@ -187,6 +187,80 @@ func TestRouterRoutesAroundDraining(t *testing.T) {
 	}
 }
 
+// TestRouterObservationEpoch: readiness marks are sequenced per replica —
+// an observation that began before another observation applied is stale and
+// must be discarded. The bug this pins down: a forward whose transport
+// error surfaces after a concurrent /readyz probe succeeded would overwrite
+// the probe's newer evidence and flap a healthy replica down until the next
+// sweep. The prober is scripted — each CheckNow consumes one status — so
+// every interleaving here is driven explicitly, no timing involved.
+func TestRouterObservationEpoch(t *testing.T) {
+	statuses := make(chan int, 8)
+	rep := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("scripted prober got unexpected path %s", r.URL.Path)
+		}
+		w.WriteHeader(<-statuses)
+	}))
+	defer rep.Close()
+	rt, err := New(Config{Replicas: []string{rep.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := rt.reps[rep.URL]
+	ctx := context.Background()
+
+	// The bug's interleaving: a forward begins (captures the epoch), a
+	// probe begins after it and resolves 200. When the forward's transport
+	// error finally surfaces it is stale — discarded, replica stays ready.
+	stale := rs.beginObservation()
+	statuses <- http.StatusOK
+	rt.CheckNow(ctx)
+	if !rs.ready.Load() {
+		t.Fatal("scripted 200 probe left the replica not-ready")
+	}
+	if rs.applyObservation(stale, false) {
+		t.Fatal("stale down-mark applied over the probe's newer 200")
+	}
+	if !rs.ready.Load() {
+		t.Fatal("stale down-mark flapped the healthy replica down")
+	}
+
+	// The reverse race: a probe and a forward are both in flight; the
+	// forward's transport error resolves first and wins. The probe's 200 is
+	// now the stale observation — it predates the error's resolution — and
+	// must not resurrect the replica early.
+	probe := rs.beginObservation()
+	mark := rs.beginObservation()
+	if !rs.applyObservation(mark, false) {
+		t.Fatal("fresh down-mark did not apply")
+	}
+	if rs.ready.Load() {
+		t.Fatal("down-mark did not take")
+	}
+	if rs.applyObservation(probe, true) {
+		t.Fatal("stale probe success applied over the newer down-mark")
+	}
+	if rs.ready.Load() {
+		t.Fatal("stale probe success resurrected the replica")
+	}
+
+	// The next sweep is a fresh observation: it recovers the replica, so
+	// discarding a raced result is at worst one poll period of pessimism.
+	statuses <- http.StatusOK
+	rt.CheckNow(ctx)
+	if !rs.ready.Load() {
+		t.Fatal("next health sweep did not recover the replica")
+	}
+
+	// A scripted 503 (draining) still marks down through the gate.
+	statuses <- http.StatusServiceUnavailable
+	rt.CheckNow(ctx)
+	if rs.ready.Load() {
+		t.Fatal("scripted 503 probe left the replica ready")
+	}
+}
+
 // TestRouterBatchScatterGather: a routed batch's reply must be
 // byte-identical to the same batch against one replica — scatter by item
 // owner, gather positionally, errors included.

@@ -83,6 +83,10 @@ type FleetEventRef struct {
 	Node int     `json:"node,omitempty"`
 	// Factor is the joining node's speed factor (0 = nominal).
 	Factor float64 `json:"factor,omitempty"`
+	// Class is the joining node's capacity class ("on-demand" or "spot";
+	// empty = on-demand); Price its cost rate per second (0 = free).
+	Class string  `json:"class,omitempty"`
+	Price float64 `json:"price,omitempty"`
 }
 
 // MaxFleetEvents bounds an elastic trace (the fleet package enforces the
@@ -257,15 +261,9 @@ func (s FleetScenario) ResolveElastic() (fleet.ElasticScenario, error) {
 	if err != nil {
 		return fleet.ElasticScenario{}, err
 	}
-	events := make([]fleet.Event, len(s.Events))
-	for i, ev := range s.Events {
-		kind := fleet.EventKind(ev.Kind)
-		switch kind {
-		case "", fleet.EvArrival, fleet.EvNodeFail, fleet.EvNodeDrain, fleet.EvNodeJoin:
-		default:
-			return fleet.ElasticScenario{}, fmt.Errorf("fleet: events[%d] has unknown kind %q", i, ev.Kind)
-		}
-		events[i] = fleet.Event{At: ev.At, Kind: kind, Job: ev.Job, Work: ev.Work, Node: ev.Node, Factor: ev.Factor}
+	events, err := ResolveFleetEvents(s.Events)
+	if err != nil {
+		return fleet.ElasticScenario{}, err
 	}
 	out := fleet.ElasticScenario{
 		Cluster: req.Cluster, Jobs: req.Jobs, Policy: req.Policy,
@@ -278,6 +276,66 @@ func (s FleetScenario) ResolveElastic() (fleet.ElasticScenario, error) {
 		return fleet.ElasticScenario{}, err
 	}
 	return out, nil
+}
+
+// ResolveLive validates the scenario as a live fleet-controller
+// configuration: cluster, jobs, policy and the re-plan knobs, with no
+// pre-recorded trace — the controller's events arrive later, batch by
+// batch, over POST /v1/fleet/events.
+func (s FleetScenario) ResolveLive() (fleet.ElasticScenario, error) {
+	if len(s.Trace) > 0 || len(s.Events) > 0 {
+		return fleet.ElasticScenario{}, fmt.Errorf("fleet: a live controller scenario must not carry a trace (%d) or events (%d) — the controller ingests events over HTTP", len(s.Trace), len(s.Events))
+	}
+	req, err := FleetPlanRequest{Cluster: s.Cluster, Jobs: s.Jobs, Policy: s.Policy}.Resolve()
+	if err != nil {
+		return fleet.ElasticScenario{}, err
+	}
+	replan, err := resolveReplan(s.Replan)
+	if err != nil {
+		return fleet.ElasticScenario{}, err
+	}
+	return fleet.ElasticScenario{
+		Cluster: req.Cluster, Jobs: req.Jobs, Policy: req.Policy,
+		Replan:           replan,
+		MigrationPenalty: s.MigrationPenalty, AgingTau: s.AgingTau,
+	}, nil
+}
+
+// ResolveFleetEvents maps wire events onto fleet events, rejecting unknown
+// kinds. It is the single wire→fleet event path: ResolveElastic resolves
+// scenario traces through it and the fleet controller resolves ingested
+// batches through it, so both accept exactly the same event shapes. Field
+// validation beyond the kind (targets, factors, prices) stays with the
+// fleet package, which names the offending index either way.
+func ResolveFleetEvents(refs []FleetEventRef) ([]fleet.Event, error) {
+	events := make([]fleet.Event, len(refs))
+	for i, ev := range refs {
+		kind := fleet.EventKind(ev.Kind)
+		switch kind {
+		case "", fleet.EvArrival, fleet.EvNodeFail, fleet.EvNodeDrain, fleet.EvNodeJoin:
+		default:
+			return nil, fmt.Errorf("fleet: events[%d] has unknown kind %q", i, ev.Kind)
+		}
+		events[i] = fleet.Event{
+			At: ev.At, Kind: kind, Job: ev.Job, Work: ev.Work,
+			Node: ev.Node, Factor: ev.Factor, Class: ev.Class, Price: ev.Price,
+		}
+	}
+	return events, nil
+}
+
+// NewFleetEventRefs encodes fleet events back onto the wire — the inverse
+// of ResolveFleetEvents, used by the controller's event-log endpoint so a
+// recorded log replays through the same codec it was ingested with.
+func NewFleetEventRefs(events []fleet.Event) []FleetEventRef {
+	refs := make([]FleetEventRef, len(events))
+	for i, ev := range events {
+		refs[i] = FleetEventRef{
+			At: ev.At, Kind: string(ev.Kind), Job: ev.Job, Work: ev.Work,
+			Node: ev.Node, Factor: ev.Factor, Class: ev.Class, Price: ev.Price,
+		}
+	}
+	return refs
 }
 
 // FleetJobAllocationJSON is one job's share on the wire.
@@ -429,24 +487,29 @@ type FleetFinalShareJSON struct {
 // FleetElasticResponse is the /v1/fleet/simulate reply for elastic
 // scenarios (and chimera-fleet -json's elastic output).
 type FleetElasticResponse struct {
-	Policy         string                   `json:"policy"`
-	Replan         string                   `json:"replan"`
-	InitialNodes   int                      `json:"initial_nodes"`
-	FinalNodes     int                      `json:"final_nodes"`
-	Makespan       float64                  `json:"makespan"`
-	Utilization    float64                  `json:"utilization"`
-	MeanWait       float64                  `json:"mean_wait"`
-	Events         int                      `json:"events"`
-	Reallocations  int                      `json:"reallocations"`
-	JobsEvaluated  int                      `json:"jobs_evaluated"`
-	Fails          int                      `json:"fails"`
-	Drains         int                      `json:"drains"`
-	Joins          int                      `json:"joins"`
-	Migrations     int                      `json:"migrations"`
-	PenaltySeconds float64                  `json:"penalty_seconds"`
-	Log            []FleetEventRecordJSON   `json:"log"`
-	Jobs           []FleetElasticJobRunJSON `json:"jobs"`
-	Final          []FleetFinalShareJSON    `json:"final"`
+	Policy         string  `json:"policy"`
+	Replan         string  `json:"replan"`
+	InitialNodes   int     `json:"initial_nodes"`
+	FinalNodes     int     `json:"final_nodes"`
+	Makespan       float64 `json:"makespan"`
+	Utilization    float64 `json:"utilization"`
+	MeanWait       float64 `json:"mean_wait"`
+	Events         int     `json:"events"`
+	Reallocations  int     `json:"reallocations"`
+	JobsEvaluated  int     `json:"jobs_evaluated"`
+	Fails          int     `json:"fails"`
+	Drains         int     `json:"drains"`
+	Joins          int     `json:"joins"`
+	Migrations     int     `json:"migrations"`
+	PenaltySeconds float64 `json:"penalty_seconds"`
+	// SpotJoins counts joins of spot-class nodes; Cost is the integrated
+	// pool price (Σ price·dt up to the makespan). Omitted when zero so
+	// price-free scenarios keep their legacy encoding.
+	SpotJoins int                      `json:"spot_joins,omitempty"`
+	Cost      float64                  `json:"cost,omitempty"`
+	Log       []FleetEventRecordJSON   `json:"log"`
+	Jobs      []FleetElasticJobRunJSON `json:"jobs"`
+	Final     []FleetFinalShareJSON    `json:"final"`
 }
 
 // NewFleetElasticResponse encodes an elastic replay. The same function
@@ -459,12 +522,10 @@ func NewFleetElasticResponse(r *fleet.ElasticResult) FleetElasticResponse {
 		Events: r.Events, Reallocations: r.Reallocations, JobsEvaluated: r.JobsEvaluated,
 		Fails: r.Fails, Drains: r.Drains, Joins: r.Joins,
 		Migrations: r.Migrations, PenaltySeconds: r.PenaltySeconds,
-		Log:   make([]FleetEventRecordJSON, len(r.Log)),
+		SpotJoins: r.SpotJoins, Cost: r.Cost,
+		Log:   NewFleetEventRecords(r.Log),
 		Jobs:  make([]FleetElasticJobRunJSON, len(r.Jobs)),
-		Final: make([]FleetFinalShareJSON, len(r.Final)),
-	}
-	for i, rec := range r.Log {
-		out.Log[i] = FleetEventRecordJSON{At: rec.At, Kind: string(rec.Kind), Job: rec.Job, Trace: rec.Trace, Node: rec.Node}
+		Final: NewFleetFinalShares(r.Final),
 	}
 	for i, run := range r.Jobs {
 		out.Jobs[i] = FleetElasticJobRunJSON{
@@ -473,8 +534,27 @@ func NewFleetElasticResponse(r *fleet.ElasticResult) FleetElasticResponse {
 			Restarts: run.Restarts, PenaltySeconds: run.PenaltySeconds,
 		}
 	}
-	for i, fs := range r.Final {
-		out.Final[i] = FleetFinalShareJSON{
+	return out
+}
+
+// NewFleetEventRecords encodes an elastic replay's processed-event log.
+// Shared by NewFleetElasticResponse and the fleet controller, so a live
+// controller's log bytes are directly comparable with a trace replay's.
+func NewFleetEventRecords(log []fleet.EventRecord) []FleetEventRecordJSON {
+	out := make([]FleetEventRecordJSON, len(log))
+	for i, rec := range log {
+		out[i] = FleetEventRecordJSON{At: rec.At, Kind: string(rec.Kind), Job: rec.Job, Trace: rec.Trace, Node: rec.Node}
+	}
+	return out
+}
+
+// NewFleetFinalShares encodes an allocation's resident shares. Shared by
+// NewFleetElasticResponse and the fleet controller, so a live controller's
+// current allocation bytes are directly comparable with a replay's final.
+func NewFleetFinalShares(shares []fleet.FinalShare) []FleetFinalShareJSON {
+	out := make([]FleetFinalShareJSON, len(shares))
+	for i, fs := range shares {
+		out[i] = FleetFinalShareJSON{
 			Job: fs.Job, Trace: fs.Trace, Nodes: fs.Nodes,
 			W: fs.W, D: fs.D, B: fs.B, Throughput: fs.Throughput, Weighted: fs.Weighted,
 		}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -389,6 +390,50 @@ func TestAdmissionControlSheds(t *testing.T) {
 	if status, _ := get(t, ts, "/v1/stats"); status != http.StatusOK {
 		t.Fatalf("stats sheddable: %d", status)
 	}
+}
+
+// TestShedRetryAfterDuringDrain: a shed before draining hints a 1-second
+// retry, but once BeginDrain flips, the hint must cover the remaining drain
+// window plus the shutdown bound — a router backing off for that long comes
+// back after the replica is gone instead of hammering a dying listener.
+func TestShedRetryAfterDuringDrain(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInflight: 1, DrainDelay: 5 * time.Second, DrainTimeout: 10 * time.Second})
+	srv.inflight <- struct{}{} // hold the only slot so every heavy request sheds
+	defer func() { <-srv.inflight }()
+
+	shed := func() *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader(planBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status %d, want 429", resp.StatusCode)
+		}
+		return resp
+	}
+
+	if ra := shed().Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("pre-drain Retry-After %q, want \"1\"", ra)
+	}
+
+	srv.BeginDrain()
+	ra, err := strconv.Atoi(shed().Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("draining Retry-After not an integer: %v", err)
+	}
+	// Remaining drain ≈ DrainDelay + DrainTimeout = 15s at this instant.
+	if ra < 10 || ra > 15 {
+		t.Fatalf("draining Retry-After %ds, want it to cover the remaining drain (≈15s)", ra)
+	}
+	// Admitted work still serves during the drain window (drain-route-around
+	// depends on the replica answering while routers observe /readyz flip).
+	<-srv.inflight
+	if status, body := post(t, ts, "/v1/plan", planBody); status != http.StatusOK {
+		t.Fatalf("admitted request during drain: %d %s", status, body)
+	}
+	srv.inflight <- struct{}{}
 }
 
 // TestOverloadCleanAndNoGoroutineLeak: a burst far above MaxInflight yields

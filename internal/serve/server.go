@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -107,6 +109,11 @@ type Server struct {
 	// /healthz reports "draining" so routers stop sending new work while the
 	// listener is still open (see Config.DrainDelay).
 	draining atomic.Bool
+	// drainStart is when BeginDrain flipped (unix nanos, 0 before): sheds
+	// during the drain window compute a Retry-After that outlives the
+	// replica instead of inviting a 1-second retry against a closing
+	// listener.
+	drainStart atomic.Int64
 	// drainDelay is Config.DrainDelay.
 	drainDelay time.Duration
 
@@ -251,7 +258,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // /healthz reports "draining". Serve calls it automatically when its context
 // is cancelled; exposed so embedders driving their own http.Server can wire
 // the same readiness contract.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.drainStart.Store(time.Now().UnixNano())
+	}
+}
 
 // Draining reports whether graceful shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -273,10 +284,30 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			h(w, r)
 		default:
 			s.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
 			s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "server at capacity, retry later"})
 		}
 	}
+}
+
+// retryAfter is the shed hint in whole seconds: 1 under normal overload,
+// but once draining it covers what remains of the drain window plus the
+// in-flight shutdown bound — this replica is going away, so a shed client
+// should come back after it is gone (and land elsewhere via its router)
+// rather than hammer a dying replica at 1-second intervals.
+func (s *Server) retryAfter() string {
+	if !s.draining.Load() {
+		return "1"
+	}
+	rem := s.drainDelay + s.drainTimeout
+	if start := s.drainStart.Load(); start > 0 {
+		rem -= time.Since(time.Unix(0, start))
+	}
+	secs := int(math.Ceil(rem.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {

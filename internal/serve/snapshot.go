@@ -114,11 +114,15 @@ func (s *Server) WriteSnapshot(path string) (SnapshotStats, error) {
 }
 
 // RestoreSnapshot loads a snapshot written by WriteSnapshot into the
-// response caches and returns how many entries it inserted. Existing
-// entries win (Memo.Put never overwrites), so restoring into a warm server
-// cannot clobber fresher computations. Any validation failure — wrong
-// magic, unsupported version, truncation, checksum mismatch — is returned
-// without touching the caches.
+// response caches and returns how many entries it actually inserted:
+// entries the live caches already held are not counted (existing entries
+// win — Memo.Put never overwrites — so restoring into a warm server cannot
+// clobber fresher computations). Snapshot entries arrive in LRU order, so a
+// cache with a smaller capacity than the snapshot truncates to the
+// snapshot's most-recently-used entries, recency preserved; the truncated
+// inserts still count (they were inserted, then evicted by later ones).
+// Any validation failure — wrong magic, unsupported version, truncation,
+// checksum mismatch — is returned without touching the caches.
 func (s *Server) RestoreSnapshot(path string) (int, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -130,16 +134,19 @@ func (s *Server) RestoreSnapshot(path string) (int, error) {
 	}
 	n := 0
 	for _, e := range payload.Plan {
-		s.planCache.Put(e.Key, planOutcome{body: e.Body})
-		n++
+		if s.planCache.Put(e.Key, planOutcome{body: e.Body}) {
+			n++
+		}
 	}
 	for _, e := range payload.Fleet {
-		s.fleetCache.Put(e.Key, planOutcome{body: e.Body})
-		n++
+		if s.fleetCache.Put(e.Key, planOutcome{body: e.Body}) {
+			n++
+		}
 	}
 	for _, e := range payload.FleetSim {
-		s.fleetSimCache.Put(e.Key, planOutcome{body: e.Body})
-		n++
+		if s.fleetSimCache.Put(e.Key, planOutcome{body: e.Body}) {
+			n++
+		}
 	}
 	s.restoredEntries.Store(int64(n))
 	// The age gauge dates from when the snapshot was taken, not when it was

@@ -79,6 +79,63 @@ func TestSnapshotSkipsCachedErrors(t *testing.T) {
 	}
 }
 
+// TestSnapshotRestoreSmallerAndWarm: restoring into a cache bounded below
+// the snapshot's entry count truncates to the snapshot's most-recent
+// entries (an insert never evicts itself, only older restores), and
+// restoring into a warm server counts only the entries actually inserted.
+func TestSnapshotRestoreSmallerAndWarm(t *testing.T) {
+	src, srcTS := newTestServer(t, Config{})
+	bodies := []string{
+		`{"model":{"preset":"bert48"},"p":16,"mini_batch":128,"max_b":16,"platform":{"preset":"pizdaint"}}`,
+		`{"model":{"preset":"bert48"},"p":16,"mini_batch":256,"max_b":16,"platform":{"preset":"pizdaint"}}`,
+		`{"model":{"preset":"bert48"},"p":16,"mini_batch":512,"max_b":16,"platform":{"preset":"pizdaint"}}`,
+	}
+	for _, b := range bodies {
+		if status, out := post(t, srcTS, "/v1/plan", b); status != http.StatusOK {
+			t.Fatalf("plan: %d %s", status, out)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "caches.snap")
+	if _, err := src.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, dstTS := newTestServer(t, Config{CacheCapacity: 2})
+	n, err := dst.RestoreSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("restore reported %d inserts, want 3 (truncated inserts still inserted)", n)
+	}
+	// The newest snapshot entry survives the truncation…
+	if status, body := post(t, dstTS, "/v1/plan", bodies[2]); status != http.StatusOK {
+		t.Fatalf("plan after restore: %d %s", status, body)
+	}
+	if pc := dst.Snapshot().PlanCache; pc.Hits != 1 || pc.Misses != 0 {
+		t.Fatalf("newest snapshot entry should survive truncation: hits=%d misses=%d", pc.Hits, pc.Misses)
+	}
+	// …and the oldest was the one truncated away.
+	if status, body := post(t, dstTS, "/v1/plan", bodies[0]); status != http.StatusOK {
+		t.Fatalf("plan after restore: %d %s", status, body)
+	}
+	if pc := dst.Snapshot().PlanCache; pc.Misses != 1 {
+		t.Fatalf("oldest snapshot entry should have been truncated: misses=%d", pc.Misses)
+	}
+
+	warm, warmTS := newTestServer(t, Config{})
+	if status, body := post(t, warmTS, "/v1/plan", bodies[0]); status != http.StatusOK {
+		t.Fatalf("warm plan: %d %s", status, body)
+	}
+	n, err = warm.RestoreSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || warm.RestoredEntries() != 2 {
+		t.Fatalf("warm restore reported %d inserts (gauge %d), want 2 — the existing entry is not recounted", n, warm.RestoredEntries())
+	}
+}
+
 // TestSnapshotRefusesDamage: every container-validation failure — bad
 // magic, unsupported version, truncation at several depths, a flipped
 // payload bit — must refuse the file without inserting anything.
